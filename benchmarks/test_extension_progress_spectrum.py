@@ -1,0 +1,78 @@
+"""Extension: the non-blocking progress spectrum per benchmark.
+
+Beyond the paper's lock-freedom results, classify each non-blocking
+structure by obstruction-freedom as well (wait-freedom coincides with
+lock-freedom under the bounded client, see ``repro.ltl.progress``).
+Expected spectrum:
+
+* lock-free (hence obstruction-free): Treiber (+HP), MS/DGLM queues,
+  CCAS, RDCSS, NewCAS, HM list, HSY stack;
+* neither: HW queue (the dequeue spins solo on an empty queue) and the
+  revised Treiber+HP stack (the reclamation spin is also solo: the
+  scanning thread re-reads an unchanging hazard slot).
+
+Lock-freedom implies obstruction-freedom, which the table verifies
+row-by-row.
+"""
+
+from repro.objects import all_benchmarks, get
+from repro.util import render_table
+from repro.verify import check_lock_freedom_auto, check_obstruction_freedom
+
+BOUNDS = {"small": (2, 2), "medium": (2, 2), "large": (3, 1)}
+
+
+def compute_spectrum(num_threads, ops):
+    rows = []
+    for bench in all_benchmarks():
+        if bench.expect_lock_free is None:
+            continue  # lock-based: progress properties not applicable
+        lock = check_lock_freedom_auto(
+            bench.build(num_threads),
+            num_threads=num_threads, ops_per_thread=ops,
+            workload=bench.default_workload(),
+            method="tau-cycle",
+        )
+        obstruction = check_obstruction_freedom(
+            bench.build(num_threads),
+            num_threads=num_threads, ops_per_thread=ops,
+            workload=bench.default_workload(),
+        )
+        rows.append({
+            "bench": bench,
+            "lock_free": lock.lock_free,
+            "obstruction_free": obstruction.obstruction_free,
+            "spinner": obstruction.spinning_thread,
+        })
+    return rows
+
+
+def test_progress_spectrum(benchmark, bench_scale, bench_out):
+    num_threads, ops = BOUNDS[bench_scale]
+    rows = benchmark.pedantic(
+        compute_spectrum, args=(num_threads, ops), rounds=1, iterations=1
+    )
+    table = render_table(
+        ["Case study", "lock-free", "obstruction-free", "solo spinner"],
+        [
+            [
+                row["bench"].title,
+                "yes" if row["lock_free"] else "NO",
+                "yes" if row["obstruction_free"] else "NO",
+                f"t{row['spinner']}" if row["spinner"] else "-",
+            ]
+            for row in rows
+        ],
+        title=f"Extension -- progress spectrum ({num_threads} threads x {ops} ops)",
+    )
+    bench_out("extension_progress_spectrum", table)
+    for row in rows:
+        # Lock-freedom implies obstruction-freedom.
+        if row["lock_free"]:
+            assert row["obstruction_free"], row["bench"].key
+        # Paper verdicts for lock-freedom.
+        assert row["lock_free"] == row["bench"].expect_lock_free
+    by_key = {row["bench"].key: row for row in rows}
+    # Both violators spin *solo* -- they are not even obstruction-free.
+    assert not by_key["hw_queue"]["obstruction_free"]
+    assert not by_key["treiber_hp_buggy"]["obstruction_free"]

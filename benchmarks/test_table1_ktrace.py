@@ -1,0 +1,138 @@
+"""Table I: k-trace equivalence in various concurrent algorithms.
+
+For each algorithm, scan the silent transitions for the two phenomena
+of Section III.C:
+
+* ``=/1``   -- a tau-step whose endpoints are not even trace
+  equivalent: present in *all* the analysed algorithms;
+* ``=1 & =/2`` -- a tau-step whose endpoints are trace equivalent but
+  2-trace inequivalent: the signature of *non-fixed* linearization
+  points (HW/MS/DGLM queues, CCAS, RDCSS -- not Treiber or NewCAS).
+
+k-trace sets are intrinsic to states and invariant under branching
+bisimilarity (Theorem 4.3), so the scan runs on the quotient: a witness
+tau-edge of the object system survives as a quotient tau-edge with the
+same k-trace classes, and the quotient is orders of magnitude smaller.
+
+The branching-potential phenomenon needs deep pending-operation
+budgets (the paper's Fig. 6 walk-through uses a thread with five
+operations); per algorithm we search an escalating list of instance
+bounds and report where each phenomenon first appears.
+"""
+
+from repro.core import (
+    branching_partition,
+    ktrace_hierarchy,
+    quotient_lts,
+    tau_witnesses,
+)
+from repro.lang import ClientConfig, explore
+from repro.objects import get
+from repro.util import render_table
+
+#: Per algorithm: paper's Table I row (non-fixed LPs, =1&=/2, =/1) and
+#: the (threads, budgets, workload-override) configs to scan, cheapest
+#: first.  ``None`` workload = the registry default.
+PROFILE = {
+    "hw_queue": (True, True, True, [
+        (2, (2, 2), None), (2, (3, 3), None),
+        # The HW witness needs three threads (~1e6 states; large scale).
+        (3, (2, 2, 2), None),
+    ]),
+    "ms_queue": (True, True, True, [
+        (2, (2, 2), None),
+        # Fig. 6's budget shape: one thread with 5 pending operations.
+        (2, (5, 1), [("enq", (1,)), ("enq", (2,)), ("deq", ())]),
+    ]),
+    "dglm_queue": (True, True, True, [
+        (2, (2, 2), None),
+        (2, (5, 1), [("enq", (1,)), ("enq", (2,)), ("deq", ())]),
+    ]),
+    "treiber": (False, False, True, [(2, (2, 2), None), (2, (3, 2), None)]),
+    "newcas": (False, False, True, [(2, (2, 2), None), (2, (3, 3), None)]),
+    "ccas": (True, True, True, [(2, (3, 3), None)]),
+    "rdcss": (True, True, True, [(2, (3, 3), None)]),
+}
+
+#: How many escalation levels each scale may try.
+LEVELS = {"small": 1, "medium": 2, "large": 3}
+
+
+def analyse(key, max_levels):
+    expected = PROFILE[key]
+    bench = get(key)
+    found_eq1_neq2 = None
+    found_neq1 = None
+    last_bounds = None
+    for threads, budgets, workload in expected[3][:max_levels]:
+        workload = workload or bench.default_workload()
+        system = explore(
+            bench.build(threads),
+            ClientConfig(threads, budgets, workload, max_states=3_000_000),
+        )
+        quotient = quotient_lts(system, branching_partition(system))
+        hierarchy = ktrace_hierarchy(quotient.lts, max_k=8)
+        witnesses = tau_witnesses(quotient.lts, hierarchy)
+        bounds_text = f"{threads}x{budgets}"
+        last_bounds = bounds_text
+        if witnesses.inequiv_1 and found_neq1 is None:
+            found_neq1 = bounds_text
+        if witnesses.equiv1_not2 and found_eq1_neq2 is None:
+            found_eq1_neq2 = bounds_text
+        if found_neq1 and (found_eq1_neq2 or not expected[1]):
+            break
+    return {
+        "key": key,
+        "non_fixed": expected[0],
+        "expect_eq1_neq2": expected[1],
+        "expect_neq1": expected[2],
+        "eq1_neq2_at": found_eq1_neq2,
+        "neq1_at": found_neq1,
+        "scanned_up_to": last_bounds,
+    }
+
+
+def compute_table1(max_levels):
+    return [analyse(key, max_levels) for key in PROFILE]
+
+
+def test_table1(benchmark, bench_scale, bench_out):
+    max_levels = LEVELS[bench_scale]
+    rows = benchmark.pedantic(
+        compute_table1, args=(max_levels,), rounds=1, iterations=1
+    )
+    table = render_table(
+        ["Object", "Non-fixed LPs", "=1 & =/2", "=/1", "scanned up to",
+         "paper: =1&=/2 / =/1"],
+        [
+            [
+                row["key"],
+                "x" if row["non_fixed"] else "",
+                row["eq1_neq2_at"] or "not at these bounds",
+                row["neq1_at"] or "not found",
+                row["scanned_up_to"],
+                ("x" if row["expect_eq1_neq2"] else "-")
+                + " / " + ("x" if row["expect_neq1"] else "-"),
+            ]
+            for row in rows
+        ],
+        title="Table I -- k-trace equivalence in various concurrent algorithms",
+    )
+    bench_out("table1_ktrace", table)
+    by_key = {row["key"]: row for row in rows}
+    # Every algorithm has a trace-changing tau step.
+    for row in rows:
+        assert row["neq1_at"] is not None, row["key"]
+    # Fixed-LP algorithms never show the higher-trace phenomenon.
+    assert by_key["treiber"]["eq1_neq2_at"] is None
+    assert by_key["newcas"]["eq1_neq2_at"] is None
+    # The non-fixed-LP algorithms show it once the bounds suffice:
+    # CCAS and RDCSS at 2x(3,3) (every scale); the queues need Fig. 6's
+    # (5,1) budget shape (medium+ scales).
+    assert by_key["ccas"]["eq1_neq2_at"] is not None
+    assert by_key["rdcss"]["eq1_neq2_at"] is not None
+    if max_levels >= 2:
+        assert by_key["ms_queue"]["eq1_neq2_at"] is not None
+        assert by_key["dglm_queue"]["eq1_neq2_at"] is not None
+    if max_levels >= 3:
+        assert by_key["hw_queue"]["eq1_neq2_at"] is not None

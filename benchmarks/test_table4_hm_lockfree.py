@@ -1,0 +1,64 @@
+"""Table IV: automatically checking lock-freedom of the HM list.
+
+Same pipeline as Table III, on the (revised) Harris-Michael lock-free
+list: all instances satisfy lock-freedom.
+"""
+
+from repro.objects import get
+from repro.util import render_table
+from repro.verify import check_lock_freedom_auto
+
+#: Paper's Table IV rows: (th, ops) -> (|D|, |D/~|).
+PAPER = {
+    (2, 2): (8602, 414),
+    (2, 3): (55732, 1949),
+    (2, 4): (227989, 5314),
+    (2, 5): (670482, 10368),
+    (3, 1): (16216, 445),
+}
+
+ROWS = {
+    "small": [(2, 1), (2, 2), (3, 1)],
+    "medium": [(2, 1), (2, 2), (2, 3), (3, 1)],
+    "large": [(2, 1), (2, 2), (2, 3), (3, 1)],
+}
+
+
+def compute_table4(rows):
+    bench = get("hm_list")
+    results = []
+    for threads, ops in rows:
+        result = check_lock_freedom_auto(
+            bench.build(threads),
+            num_threads=threads, ops_per_thread=ops,
+            workload=bench.default_workload(),
+            method="tau-cycle",
+        )
+        results.append(result)
+    return results
+
+
+def test_table4(benchmark, bench_scale, bench_out):
+    rows = ROWS[bench_scale]
+    results = benchmark.pedantic(compute_table4, args=(rows,), rounds=1, iterations=1)
+    table = render_table(
+        ["#Th-#Op", "|D_HM|", "|D_HM/~|", "lock-free (Thm 5.9)", "time (s)",
+         "paper |D|", "paper |D/~|"],
+        [
+            [
+                f"{r.num_threads}-{r.ops_per_thread}",
+                r.impl_states,
+                r.quotient_states,
+                "Yes" if r.lock_free else "No",
+                f"{r.seconds:.2f}",
+                PAPER.get((r.num_threads, r.ops_per_thread), ("-", "-"))[0],
+                PAPER.get((r.num_threads, r.ops_per_thread), ("-", "-"))[1],
+            ]
+            for r in results
+        ],
+        title="Table IV -- automatically checking lock-freedom of the HM list",
+    )
+    bench_out("table4_hm_lockfree", table)
+    assert all(r.lock_free for r in results)
+    for r in results:
+        assert r.quotient_states * 5 < r.impl_states

@@ -1,0 +1,116 @@
+"""Table VI: verifying linearizability and lock-freedom of the queues.
+
+Per instance: the sizes of the MS queue, DGLM queue, their shared
+specification and shared abstract object (Fig. 8), the quotient sizes,
+and the times of the Theorem 5.8 (lock-freedom via abstract object)
+and Theorem 5.3 (linearizability via quotient refinement) checks.
+
+Shape targets from the paper: MS and DGLM share one specification and
+one abstract object; both queues are divergence-sensitive branching
+bisimilar to the abstract object; the quotients agree; everything
+verifies.
+"""
+
+import time
+
+from repro.core import branching_partition, quotient_lts
+from repro.lang import ClientConfig, explore, spec_lts
+from repro.objects import get
+from repro.util import render_table
+from repro.verify import (
+    check_linearizability,
+    check_lock_freedom_abstract,
+)
+
+#: Paper rows: (th,op) -> (|D_MS|, |D_DGLM|, |Spec|, |D_Abs|, |Spec/~|, |D*/~|)
+PAPER = {
+    (2, 1): (326, 291, 72, 106, 28, 28),
+    (2, 2): (5477, 4951, 855, 1325, 209, 209),
+    (2, 3): (49038, 43221, 5810, 9426, 817, 863),
+    (3, 1): (10845, 9488, 876, 1577, 220, 220),
+}
+
+ROWS = {
+    "small": [(2, 1), (2, 2)],
+    "medium": [(2, 1), (2, 2), (3, 1)],
+    "large": [(2, 1), (2, 2), (3, 1), (2, 3)],
+}
+
+
+def compute_table6(rows):
+    ms, dglm = get("ms_queue"), get("dglm_queue")
+    workload = ms.default_workload()
+    out = []
+    for threads, ops in rows:
+        config = ClientConfig(threads, ops, workload)
+        spec_system = spec_lts(ms.spec(), threads, ops, workload)
+        spec_quotient = quotient_lts(spec_system, branching_partition(spec_system))
+        abstract = explore(ms.abstract(threads), config)
+
+        entry = {
+            "bounds": (threads, ops),
+            "spec": spec_system.num_states,
+            "spec_quotient": spec_quotient.lts.num_states,
+            "abstract": abstract.num_states,
+        }
+        for name, bench in (("ms", ms), ("dglm", dglm)):
+            t0 = time.perf_counter()
+            lf = check_lock_freedom_abstract(
+                bench.build(threads), bench.abstract(threads),
+                num_threads=threads, ops_per_thread=ops, workload=workload,
+            )
+            entry[f"{name}_thm58_time"] = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            lin = check_linearizability(
+                bench.build(threads), bench.spec(),
+                num_threads=threads, ops_per_thread=ops, workload=workload,
+            )
+            entry[f"{name}_thm53_time"] = time.perf_counter() - t0
+            entry[f"{name}_states"] = lin.impl_states
+            entry[f"{name}_quotient"] = lin.impl_quotient_states
+            entry[f"{name}_lock_free"] = lf.lock_free
+            entry[f"{name}_div_bisim"] = lf.div_bisimilar
+            entry[f"{name}_linearizable"] = lin.linearizable
+        out.append(entry)
+    return out
+
+
+def test_table6(benchmark, bench_scale, bench_out):
+    rows = ROWS[bench_scale]
+    entries = benchmark.pedantic(compute_table6, args=(rows,), rounds=1, iterations=1)
+    table = render_table(
+        ["#Th-#Op", "|D_MS|", "|D_DGLM|", "|Spec|", "|D_Abs|",
+         "|Spec/~|", "|D_MS/~|", "|D_DGLM/~|",
+         "Thm5.8 MS/DGLM (s)", "Thm5.3 MS/DGLM (s)", "Result",
+         "paper (MS, DGLM, Spec, Abs)"],
+        [
+            [
+                f"{e['bounds'][0]}-{e['bounds'][1]}",
+                e["ms_states"], e["dglm_states"], e["spec"], e["abstract"],
+                e["spec_quotient"], e["ms_quotient"], e["dglm_quotient"],
+                f"{e['ms_thm58_time']:.2f}/{e['dglm_thm58_time']:.2f}",
+                f"{e['ms_thm53_time']:.2f}/{e['dglm_thm53_time']:.2f}",
+                "Yes" if all(
+                    e[f"{n}_{what}"]
+                    for n in ("ms", "dglm")
+                    for what in ("lock_free", "div_bisim", "linearizable")
+                ) else "NO",
+                str(PAPER.get(e["bounds"], "-")[:4]) if e["bounds"] in PAPER else "-",
+            ]
+            for e in entries
+        ],
+        title="Table VI -- verifying linearizability and lock-freedom of concurrent queues",
+    )
+    bench_out("table6_queues", table)
+    for e in entries:
+        # Every check passes (paper: all 'Yes').
+        for name in ("ms", "dglm"):
+            assert e[f"{name}_div_bisim"], e
+            assert e[f"{name}_lock_free"], e
+            assert e[f"{name}_linearizable"], e
+        # Both queues share spec + abstract object; quotients coincide.
+        assert e["ms_quotient"] == e["dglm_quotient"]
+        # Abstract object smaller than the concrete queues, quotient
+        # smaller still (the paper's size ordering).
+        assert e["abstract"] < e["ms_states"]
+        assert e["ms_quotient"] < e["abstract"]

@@ -1,0 +1,125 @@
+"""Table VII: weak vs branching bisimulation between object and spec.
+
+For each algorithm, check whether the object system is weakly /
+branchingly bisimilar to its one-atomic-block specification.  Paper
+shape: only the Treiber stack is equivalent to its specification
+(both relations agree: the interesting distinctions all happen between
+equivalence *and* inequivalence cases, not between the two relations
+at these instances); all fine-grained algorithms with helping or
+non-fixed LPs are inequivalent under both.
+"""
+
+from repro.core import (
+    branching_partition,
+    compare_branching,
+    compare_weak,
+    quotient_lts,
+)
+from repro.lang import ClientConfig, explore, spec_lts
+from repro.objects import get
+from repro.util import render_table
+
+#: Paper's Table VII: key -> (row bounds, weak verdict, branching verdict)
+PAPER = {
+    "ms_queue": ("2-5", "No", "No"),
+    "dglm_queue": ("2-5", "No", "No"),
+    "hw_queue": ("3-2", "No", "No"),
+    "hm_list": ("3-2", "No", "No"),
+    "lazy_list": ("3-2", "No", "No"),
+    "ccas": ("4-1", "No", "No"),
+    "treiber": ("2-2", "Yes", "Yes"),
+    "hsy_stack": ("3-2", "No", "No"),
+}
+
+ROWS = {
+    # (key, threads, ops, bound_sufficient): at insufficient bounds the
+    # queues are still bisimilar to their specs -- the distinguishing
+    # branching potentials need the Fig. 6 depth (see Table I bench).
+    "small": [("ms_queue", 2, 2, False), ("dglm_queue", 2, 2, False),
+              ("hw_queue", 2, 2, True), ("hm_list", 2, 2, True),
+              ("lazy_list", 2, 1, True), ("ccas", 3, 1, True),
+              ("treiber", 2, 2, True), ("hsy_stack", 3, 1, True)],
+    "medium": [("ms_queue", 2, 3, True), ("dglm_queue", 2, 3, True),
+               ("hw_queue", 2, 2, True), ("hm_list", 2, 2, True),
+               ("lazy_list", 2, 2, True), ("ccas", 3, 1, True),
+               ("treiber", 2, 2, True), ("hsy_stack", 3, 1, True)],
+    "large": [("ms_queue", 2, 3, True), ("dglm_queue", 2, 3, True),
+              ("hw_queue", 3, 2, True), ("hm_list", 2, 2, True),
+              ("lazy_list", 2, 2, True), ("ccas", 4, 1, True),
+              ("treiber", 2, 2, True), ("hsy_stack", 3, 1, True),
+              # Exhibit (not a paper row): at 2-3 the HSY stack is
+              # *weakly* bisimilar to its spec yet NOT branching
+              # bisimilar -- weak bisimulation misses the effectual
+              # internal steps (Section VII's point, live on a real
+              # benchmark).  sufficient=False keeps it out of the
+              # paper-verdict assertions; a dedicated assertion below
+              # checks the separation itself.
+              ("hsy_stack", 2, 3, False)],
+}
+
+
+def compute_table7(rows):
+    out = []
+    for key, threads, ops, sufficient in rows:
+        bench = get(key)
+        workload = bench.default_workload()
+        system = explore(bench.build(threads), ClientConfig(threads, ops, workload))
+        spec_system = spec_lts(bench.spec(), threads, ops, workload)
+        system_quotient = quotient_lts(system, branching_partition(system))
+        spec_quotient = quotient_lts(spec_system, branching_partition(spec_system))
+        weak = compare_weak(system_quotient.lts, spec_quotient.lts).equivalent
+        branching = compare_branching(system_quotient.lts, spec_quotient.lts).equivalent
+        out.append({
+            "key": key,
+            "bounds": (threads, ops),
+            "sufficient": sufficient,
+            "system": system.num_states,
+            "system_quotient": system_quotient.lts.num_states,
+            "spec": spec_system.num_states,
+            "spec_quotient": spec_quotient.lts.num_states,
+            "weak": weak,
+            "branching": branching,
+        })
+    return out
+
+
+def test_table7(benchmark, bench_scale, bench_out):
+    rows = ROWS[bench_scale]
+    entries = benchmark.pedantic(compute_table7, args=(rows,), rounds=1, iterations=1)
+    table = render_table(
+        ["Object", "#Th-#Op", "|D|", "|D/~|", "|Spec|", "|Spec/~|",
+         "~w", "~ (branching)", "paper (at its bounds)"],
+        [
+            [
+                e["key"],
+                f"{e['bounds'][0]}-{e['bounds'][1]}",
+                e["system"], e["system_quotient"], e["spec"], e["spec_quotient"],
+                "Yes" if e["weak"] else "No",
+                "Yes" if e["branching"] else "No",
+                "{} / {} at {}{}".format(
+                    PAPER[e["key"]][1], PAPER[e["key"]][2], PAPER[e["key"]][0],
+                    "" if e["sufficient"] else " (our bound too shallow)",
+                ),
+            ]
+            for e in entries
+        ],
+        title="Table VII -- checking D ~ Spec and D ~w Spec for various algorithms",
+    )
+    bench_out("table7_weak_vs_branching", table)
+    # Branching bisimilarity implies weak bisimilarity.
+    for e in entries:
+        assert e["weak"] or not e["branching"]
+    # Paper shape: Treiber is the only 'Yes'; every other row is 'No'
+    # under both relations once its bounds are deep enough.
+    by_key = {e["key"]: e for e in entries}
+    assert by_key["treiber"]["weak"] and by_key["treiber"]["branching"]
+    for e in entries:
+        if e["key"] == "treiber" or not e["sufficient"]:
+            continue
+        assert not e["branching"], e["key"]
+        assert e["weak"] == (PAPER[e["key"]][1] == "Yes"), e["key"]
+    # The large-scale exhibit: weak relates HSY 2-3 to its spec while
+    # branching refuses -- Section VII on a real benchmark.
+    for e in entries:
+        if e["key"] == "hsy_stack" and e["bounds"] == (2, 3):
+            assert e["weak"] and not e["branching"]

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Verifying your own concurrent object with the library.
+
+Models a ticket dispenser twice -- once with a racy read/write pair and
+once with an atomic fetch-and-add -- plus its sequential specification,
+then runs both of the paper's verification methods on each.  The racy
+version fails linearizability with a concrete counterexample history
+(two clients obtain the same ticket); the atomic one verifies.
+
+This is the end-to-end workflow for a user-supplied algorithm:
+
+1. write the implementation as an ``ObjectProgram`` (atomic shared
+   steps + thread-local control flow),
+2. write the sequential specification as a ``SpecObject``,
+3. call ``check_linearizability`` / ``check_lock_freedom_auto``.
+"""
+
+from repro.lang import (
+    FetchAddGlobal,
+    Method,
+    ObjectProgram,
+    ReadGlobal,
+    Return,
+    SpecObject,
+    WriteGlobal,
+)
+from repro.verify import check_linearizability, check_lock_freedom_auto
+
+
+def racy_dispenser() -> ObjectProgram:
+    """take() implemented as separate read and write -- a classic race."""
+    return ObjectProgram(
+        "racy-dispenser",
+        methods=[
+            Method("take", locals_={"t": None}, body=[
+                ReadGlobal("t", "Next").at("L1"),
+                WriteGlobal("Next", lambda L: L["t"] + 1).at("L2"),
+                Return("t").at("L3"),
+            ]),
+        ],
+        globals_={"Next": 0},
+    )
+
+
+def atomic_dispenser() -> ObjectProgram:
+    """take() with fetch-and-add: every ticket handed out once."""
+    return ObjectProgram(
+        "atomic-dispenser",
+        methods=[
+            Method("take", locals_={"t": None}, body=[
+                FetchAddGlobal("t", "Next", 1).at("L1"),
+                Return("t").at("L2"),
+            ]),
+        ],
+        globals_={"Next": 0},
+    )
+
+
+def dispenser_spec() -> SpecObject:
+    """Sequential semantics: take() returns and bumps the counter."""
+    return SpecObject(
+        "dispenser-spec",
+        initial=0,
+        methods={"take": lambda state, args: [(state + 1, state)]},
+    )
+
+
+def verify(program: ObjectProgram) -> None:
+    workload = [("take", ())]
+    print(f"== {program.name} ==")
+    lin = check_linearizability(
+        program, dispenser_spec(),
+        num_threads=2, ops_per_thread=2, workload=workload,
+    )
+    print(f"states: {lin.impl_states} (quotient {lin.impl_quotient_states})")
+    print(f"linearizable: {lin.linearizable}")
+    if not lin.linearizable:
+        print(lin.render_counterexample())
+    lock = check_lock_freedom_auto(
+        program, num_threads=2, ops_per_thread=2, workload=workload,
+    )
+    print(f"lock-free: {lock.lock_free}")
+    print()
+
+
+if __name__ == "__main__":
+    verify(racy_dispenser())
+    verify(atomic_dispenser())

@@ -1,0 +1,235 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands::
+
+    list                         the 14 benchmarks and expected verdicts
+    verify <key>                 run linearizability + progress checks
+    explore <key> --out F.aut    export the object system (AUT format)
+    quotient <key> --out F.aut   export its branching-bisim quotient
+    compare A.aut B.aut          compare two LTSs up to an equivalence
+    bugs                         re-run the paper's bug hunts
+
+Examples::
+
+    python -m repro verify ms_queue --threads 2 --ops 2
+    python -m repro quotient treiber --out treiber.aut
+    python -m repro compare impl.aut spec.aut --relation trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (
+    branching_partition,
+    compare_branching,
+    compare_strong,
+    compare_weak,
+    explain_inequivalence,
+    quotient_lts,
+    trace_refines,
+)
+from .core.aut import read_aut, write_aut
+from .lang import ClientConfig, explore
+from .objects import BENCHMARKS, get
+from .util import render_table
+from .verify import (
+    check_linearizability,
+    check_lock_freedom_auto,
+    check_obstruction_freedom,
+)
+
+
+def _add_bounds(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--ops", type=int, default=2)
+    parser.add_argument("--values", type=int, default=2,
+                        help="size of the data-value domain in the workload")
+    parser.add_argument("--max-states", type=int, default=None)
+
+
+def _bench_and_config(args):
+    bench = get(args.key)
+    workload = bench.default_workload(args.values)
+    config = ClientConfig(
+        num_threads=args.threads,
+        ops_per_thread=args.ops,
+        workload=workload,
+        max_states=args.max_states,
+    )
+    return bench, workload, config
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    for bench in BENCHMARKS.values():
+        if bench.expect_lock_free is None:
+            progress = "n/a (lock-based)"
+        else:
+            progress = "lock-free" if bench.expect_lock_free else "NOT lock-free"
+        rows.append([
+            bench.key,
+            bench.title,
+            "linearizable" if bench.expect_linearizable else "NOT linearizable",
+            progress,
+        ])
+    print(render_table(["key", "case study", "linearizability", "progress"], rows))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    bench, workload, _config = _bench_and_config(args)
+    print(f"== {bench.title} | {args.threads} threads x {args.ops} ops ==")
+    lin = check_linearizability(
+        bench.build(args.threads), bench.spec(),
+        num_threads=args.threads, ops_per_thread=args.ops,
+        workload=workload, max_states=args.max_states,
+    )
+    print(f"states {lin.impl_states} -> quotient {lin.impl_quotient_states} "
+          f"({lin.reduction_factor:.1f}x)")
+    print(f"linearizable: {lin.linearizable}  ({lin.total_seconds:.2f}s)")
+    if not lin.linearizable:
+        print(lin.render_counterexample())
+    failed = not lin.linearizable
+
+    if bench.expect_lock_free is None:
+        print("lock-freedom: skipped (lock-based algorithm)")
+        return 1 if failed else 0
+
+    lock = check_lock_freedom_auto(
+        bench.build(args.threads),
+        num_threads=args.threads, ops_per_thread=args.ops,
+        workload=workload, max_states=args.max_states,
+    )
+    print(f"lock-free: {lock.lock_free}  ({lock.seconds:.2f}s)")
+    if not lock.lock_free:
+        print(lock.render_diagnostic())
+        failed = True
+
+    obstruction = check_obstruction_freedom(
+        bench.build(args.threads),
+        num_threads=args.threads, ops_per_thread=args.ops,
+        workload=workload, max_states=args.max_states,
+    )
+    print(f"obstruction-free: {obstruction.obstruction_free}  "
+          f"({obstruction.seconds:.2f}s)")
+    if not obstruction.obstruction_free:
+        print(obstruction.render_diagnostic())
+    return 1 if failed else 0
+
+
+def cmd_explore(args) -> int:
+    bench, _workload, config = _bench_and_config(args)
+    system = explore(bench.build(args.threads), config)
+    write_aut(system, args.out)
+    print(f"{bench.key}: {system.num_states} states, "
+          f"{system.num_transitions} transitions -> {args.out}")
+    return 0
+
+
+def cmd_quotient(args) -> int:
+    bench, _workload, config = _bench_and_config(args)
+    system = explore(bench.build(args.threads), config)
+    quotient = quotient_lts(system, branching_partition(system))
+    write_aut(quotient.lts, args.out)
+    print(f"{bench.key}: {system.num_states} states -> quotient "
+          f"{quotient.lts.num_states} states -> {args.out}")
+    essential = sorted(
+        str(a) for a in quotient.essential_internal_annotations()
+    )
+    if essential:
+        print("essential internal steps:", ", ".join(essential))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    left = read_aut(args.left)
+    right = read_aut(args.right)
+    if args.relation == "trace":
+        forward = trace_refines(left, right)
+        backward = trace_refines(right, left)
+        print(f"{args.left} refines {args.right}: {forward.holds}")
+        print(f"{args.right} refines {args.left}: {backward.holds}")
+        for result in (forward, backward):
+            if not result.holds:
+                print(result.render_counterexample())
+        return 0 if (forward.holds and backward.holds) else 1
+    compare = {
+        "branching": compare_branching,
+        "weak": compare_weak,
+        "strong": compare_strong,
+    }[args.relation]
+    if args.relation == "branching":
+        outcome = compare(left, right, divergence=args.divergence)
+    else:
+        outcome = compare(left, right)
+    name = args.relation + ("-divergence" if args.divergence else "")
+    print(f"{name} bisimilar: {outcome.equivalent}")
+    if not outcome.equivalent and args.relation == "branching":
+        explanation = explain_inequivalence(left, right, divergence=args.divergence)
+        if explanation:
+            print(explanation.render())
+    return 0 if outcome.equivalent else 1
+
+
+def cmd_bugs(_args) -> int:
+    import runpy
+
+    runpy.run_path("examples/bug_hunting.py", run_name="__main__")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Branching bisimulation and concurrent object verification",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list the benchmark objects")
+
+    verify = commands.add_parser("verify", help="verify one benchmark")
+    verify.add_argument("key", choices=sorted(BENCHMARKS))
+    _add_bounds(verify)
+
+    for name, help_text in (
+        ("explore", "export the object system as .aut"),
+        ("quotient", "export the branching-bisimulation quotient as .aut"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("key", choices=sorted(BENCHMARKS))
+        sub.add_argument("--out", required=True)
+        _add_bounds(sub)
+
+    compare = commands.add_parser("compare", help="compare two .aut files")
+    compare.add_argument("left")
+    compare.add_argument("right")
+    compare.add_argument(
+        "--relation", choices=["branching", "weak", "strong", "trace"],
+        default="branching",
+    )
+    compare.add_argument("--divergence", action="store_true")
+
+    commands.add_parser("bugs", help="re-run the paper's bug hunts")
+    return parser
+
+
+HANDLERS = {
+    "list": cmd_list,
+    "verify": cmd_verify,
+    "explore": cmd_explore,
+    "quotient": cmd_quotient,
+    "compare": cmd_compare,
+    "bugs": cmd_bugs,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

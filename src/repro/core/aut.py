@@ -1,0 +1,127 @@
+"""Aldebaran (.aut) import/export -- CADP's textual LTS interchange format.
+
+The paper's toolchain stores state spaces as CADP BCG/AUT graphs; this
+module reads and writes the textual ``.aut`` flavour so systems
+generated here can be minimized/compared with CADP (or graphs exported
+from CADP can be analysed with this library).
+
+Format::
+
+    des (<initial-state>, <number-of-transitions>, <number-of-states>)
+    (<from-state>, "<label>", <to-state>)
+    ...
+
+Labels: the silent action is written ``i`` (CADP's convention; ``tau``
+and ``"tau"`` are accepted on input).  Structured labels (the
+``("call", t, m, args)`` tuples) are rendered like CADP gate offers --
+``CALL !1 !enq !(1,)`` -- and parsed back to the same tuples.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+from typing import Any, Hashable, List, TextIO, Tuple, Union
+
+from .lts import LTS, TAU, TAU_ID
+
+
+def render_label(label: Hashable) -> str:
+    """Render an action label as an AUT label string."""
+    if label == TAU:
+        return "i"
+    if isinstance(label, tuple) and label and isinstance(label[0], str):
+        head = str(label[0]).upper()
+        offers = " ".join(f"!{_render_offer(part)}" for part in label[1:])
+        return f"{head} {offers}".strip()
+    return str(label)
+
+
+def _render_offer(part: Any) -> str:
+    if isinstance(part, str):
+        return part
+    return repr(part)
+
+
+def parse_label(text: str) -> Hashable:
+    """Parse an AUT label string back into an action label."""
+    text = text.strip()
+    if text in ("i", "tau", '"tau"', "I"):
+        return TAU
+    if "!" in text:
+        head, *offers = [part.strip() for part in text.split("!")]
+        parts: List[Any] = [head.lower()]
+        for offer in offers:
+            parts.append(_parse_offer(offer))
+        return tuple(parts)
+    return text
+
+
+def _parse_offer(text: str) -> Any:
+    try:
+        return ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        return text
+
+
+def write_aut(lts: LTS, target: Union[str, TextIO]) -> None:
+    """Write an LTS in Aldebaran format to a path or file object."""
+    if isinstance(target, str):
+        with open(target, "w") as handle:
+            write_aut(lts, handle)
+            return
+    target.write(
+        f"des ({lts.init}, {lts.num_transitions}, {lts.num_states})\n"
+    )
+    for src, aid, dst in lts.transitions():
+        label = render_label(lts.action_labels[aid])
+        escaped = label.replace('"', "'")
+        target.write(f'({src}, "{escaped}", {dst})\n')
+
+
+def dumps_aut(lts: LTS) -> str:
+    """Render an LTS to an AUT-format string."""
+    buffer = io.StringIO()
+    write_aut(lts, buffer)
+    return buffer.getvalue()
+
+
+_HEADER = re.compile(r"des\s*\(\s*(\d+)\s*,\s*(\d+)\s*,\s*(\d+)\s*\)")
+_EDGE = re.compile(r'\(\s*(\d+)\s*,\s*(".*"|[^,]*?)\s*,\s*(\d+)\s*\)\s*$')
+
+
+def read_aut(source: Union[str, TextIO]) -> LTS:
+    """Read an LTS in Aldebaran format from a path or file object."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            return read_aut(handle)
+    lines = [line.strip() for line in source if line.strip()]
+    if not lines:
+        raise ValueError("empty AUT input")
+    header = _HEADER.match(lines[0])
+    if not header:
+        raise ValueError(f"bad AUT header: {lines[0]!r}")
+    init, num_transitions, num_states = (int(g) for g in header.groups())
+    lts = LTS()
+    lts.add_states(num_states)
+    lts.init = init
+    for line in lines[1:]:
+        edge = _EDGE.match(line)
+        if not edge:
+            raise ValueError(f"bad AUT transition: {line!r}")
+        src, label_text, dst = edge.groups()
+        if label_text.startswith('"') and label_text.endswith('"'):
+            label_text = label_text[1:-1]
+        lts.add_transition(int(src), parse_label(label_text), int(dst))
+    if lts.num_transitions != num_transitions:
+        raise ValueError(
+            f"AUT header promises {num_transitions} transitions, "
+            f"found {lts.num_transitions}"
+        )
+    return lts
+
+
+def loads_aut(text: str) -> LTS:
+    """Parse an LTS from an AUT-format string."""
+    return read_aut(io.StringIO(text))

@@ -1,0 +1,130 @@
+"""Branching bisimulation, plain and divergence-sensitive (Definitions 4.1, 5.5).
+
+Computed by signature refinement: in each sweep a state's signature is
+the set of non-inert steps it can take after an *inert* silent path
+(silent transitions that stay inside the state's current block):
+
+    sig(s) = { (a, block(t)) :  s  ==inert==>  s' --a--> t,
+                                a != tau  or  block(t) != block(s) }
+
+For the divergence-sensitive variant (used to verify lock-freedom,
+Theorems 5.8/5.9) the signature additionally contains a divergence
+marker when the state can reach, via inert steps, a silent cycle inside
+its own block -- this is exactly Definition 5.4's partition-relative
+divergence, re-evaluated on every sweep.
+
+The fixpoint of the sweep is the coarsest stable partition, i.e. the
+partition induced by the largest (divergence-sensitive) branching
+bisimulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .graphs import tarjan_scc
+from .lts import LTS, TAU_ID, disjoint_union
+from .partition import BlockMap, refine_to_fixpoint
+
+#: Marker added to the signature of partition-relative divergent states.
+DIVERGENCE_MARK = ("__divergent__",)
+
+
+def _branching_signatures_ordered(lts: LTS, block_of: BlockMap, divergence: bool):
+    """One sweep of branching-bisimulation signatures, component-ordered."""
+    n = lts.num_states
+    inert: List[List[int]] = [[] for _ in range(n)]
+    for src, aid, dst in lts.transitions():
+        if aid == TAU_ID and block_of[src] == block_of[dst]:
+            inert[src].append(dst)
+
+    comp_of, num_comps = tarjan_scc(n, lambda s: inert[s])
+
+    members: List[List[int]] = [[] for _ in range(num_comps)]
+    for state in range(n):
+        members[comp_of[state]].append(state)
+
+    comp_sig: List[set] = [set() for _ in range(num_comps)]
+    for src, aid, dst in lts.transitions():
+        if aid == TAU_ID and block_of[src] == block_of[dst]:
+            continue
+        comp_sig[comp_of[src]].add((aid, block_of[dst]))
+
+    if divergence:
+        for comp in range(num_comps):
+            if len(members[comp]) > 1:
+                comp_sig[comp].add(DIVERGENCE_MARK)
+        for src in range(n):
+            for dst in inert[src]:
+                if comp_of[src] == comp_of[dst]:
+                    comp_sig[comp_of[src]].add(DIVERGENCE_MARK)
+
+    # Accumulate in increasing component id: successors are complete first.
+    for comp in range(num_comps):
+        sig = comp_sig[comp]
+        for src in members[comp]:
+            for dst in inert[src]:
+                dst_comp = comp_of[dst]
+                if dst_comp != comp:
+                    sig |= comp_sig[dst_comp]
+
+    frozen = [frozenset(sig) for sig in comp_sig]
+    return [frozen[comp_of[state]] for state in range(n)]
+
+
+def branching_partition(
+    lts: LTS,
+    divergence: bool = False,
+    initial: Optional[BlockMap] = None,
+) -> BlockMap:
+    """Partition of the states of ``lts`` under branching bisimilarity.
+
+    With ``divergence=True`` the partition is that of divergence-
+    sensitive branching bisimilarity (Definition 5.5).
+    """
+    return refine_to_fixpoint(
+        lts.num_states,
+        lambda block_of: _branching_signatures_ordered(lts, block_of, divergence),
+        initial=initial,
+    )
+
+
+@dataclass
+class Comparison:
+    """Result of comparing two LTSs up to an equivalence.
+
+    Attributes
+    ----------
+    equivalent:
+        Whether the two initial states are related.
+    union:
+        The disjoint union the partition was computed on.
+    block_of:
+        The partition of the union's states.
+    init_a, init_b:
+        Images of the two initial states inside the union.
+    """
+
+    equivalent: bool
+    union: LTS
+    block_of: BlockMap
+    init_a: int
+    init_b: int
+
+
+def compare_branching(a: LTS, b: LTS, divergence: bool = False) -> Comparison:
+    """Decide ``a ~ b`` for (divergence-sensitive) branching bisimilarity.
+
+    Two object systems are branching bisimilar iff their initial states
+    are related in the disjoint union (Section IV / Definition 5.5).
+    """
+    union, init_a, init_b = disjoint_union(a, b)
+    block_of = branching_partition(union, divergence=divergence)
+    return Comparison(
+        equivalent=block_of[init_a] == block_of[init_b],
+        union=union,
+        block_of=block_of,
+        init_a=init_a,
+        init_b=init_b,
+    )

@@ -1,0 +1,124 @@
+"""The k-trace hierarchy and max-trace equivalence (Section III).
+
+``T^0(s)`` is empty for every state, so 0-trace equivalence relates all
+states.  A ``(k+1)``-trace of ``s`` is its ordinary trace enriched with
+the ``k``-trace class of every state passed through, with consecutive
+silent steps that do not change the class compressed away (Definition
+3.1).  Level ``k+1`` is therefore the trace-language equivalence of the
+system relabelled by level-``k`` classes:
+
+* a transition ``s --tau--> t`` with ``class_k(s) == class_k(t)`` is
+  invisible (a stutter),
+* every other transition emits the symbol ``(action, class_k(t))``,
+* two states are ``(k+1)``-equivalent iff they are ``k``-equivalent and
+  emit the same symbol language.
+
+The hierarchy is monotone and stabilizes on finite systems; the paper
+calls the stabilization level the *cap*.  By Theorem 4.3 the fixpoint
+coincides with branching bisimilarity, which the test suite checks by
+property-based comparison against the partition-refinement algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .lts import LTS, TAU_ID
+from .partition import BlockMap, partition_from_key, same_partition
+from .traces import language_partition
+
+
+def ktrace_refine(lts: LTS, block_of: BlockMap) -> BlockMap:
+    """Level ``k+1`` of the hierarchy from the level-``k`` partition."""
+
+    def symbol(src: int, aid: int, dst: int):
+        if aid == TAU_ID and block_of[src] == block_of[dst]:
+            return None
+        return (aid, block_of[dst])
+
+    lang = language_partition(lts, symbol)
+    return partition_from_key(
+        [(block_of[s], lang[s]) for s in range(lts.num_states)]
+    )
+
+
+@dataclass
+class KTraceHierarchy:
+    """The computed hierarchy for one object system.
+
+    ``partitions[k]`` is the k-trace equivalence (``partitions[0]``
+    relates everything; ``partitions[1]`` is ordinary trace
+    equivalence).  ``cap`` is the smallest ``k`` with ``≡_k == ≡_{k+1}``
+    (``None`` if the computation was cut off by ``max_k`` first).
+    """
+
+    partitions: List[BlockMap]
+    cap: Optional[int]
+
+    def equivalent(self, k: int, s: int, r: int) -> bool:
+        """Whether ``s ≡_k r`` (levels above the cap reuse the fixpoint)."""
+        index = min(k, len(self.partitions) - 1)
+        blocks = self.partitions[index]
+        return blocks[s] == blocks[r]
+
+    @property
+    def max_trace_partition(self) -> BlockMap:
+        """The fixpoint partition: max-trace equivalence (``≡``)."""
+        return self.partitions[-1]
+
+
+def ktrace_hierarchy(lts: LTS, max_k: int = 64) -> KTraceHierarchy:
+    """Compute the hierarchy until it stabilizes (or ``max_k`` levels)."""
+    partitions: List[BlockMap] = [[0] * lts.num_states]
+    cap: Optional[int] = None
+    for k in range(max_k):
+        refined = ktrace_refine(lts, partitions[-1])
+        if same_partition(refined, partitions[-1]):
+            cap = k
+            break
+        partitions.append(refined)
+    return KTraceHierarchy(partitions=partitions, cap=cap)
+
+
+def max_trace_partition(lts: LTS, max_k: int = 64) -> BlockMap:
+    """Max-trace equivalence ``≡`` = the fixpoint of the hierarchy."""
+    return ktrace_hierarchy(lts, max_k=max_k).max_trace_partition
+
+
+@dataclass
+class TauWitnesses:
+    """Witness silent steps for Table I's two phenomena.
+
+    ``inequiv_1``: a silent transition whose endpoints are not even
+    trace equivalent (``≢₁``) -- present in all analysed algorithms.
+    ``equiv1_not2``: a silent transition whose endpoints are trace
+    equivalent but 2-trace inequivalent (``≡₁ ∧ ≢₂``) -- the signature
+    of non-fixed linearization points (MS/DGLM/HW queues, CCAS, RDCSS).
+    """
+
+    inequiv_1: Optional[Tuple[int, int]]
+    equiv1_not2: Optional[Tuple[int, int]]
+
+
+def tau_witnesses(lts: LTS, hierarchy: Optional[KTraceHierarchy] = None) -> TauWitnesses:
+    """Scan the silent transitions for the Table I witness patterns."""
+    if hierarchy is None:
+        hierarchy = ktrace_hierarchy(lts, max_k=3)
+    last = len(hierarchy.partitions) - 1
+    p1 = hierarchy.partitions[min(1, last)]
+    p2 = hierarchy.partitions[min(2, last)]
+    inequiv_1 = None
+    equiv1_not2 = None
+    for src, aid, dst in lts.transitions():
+        if aid != TAU_ID or src == dst:
+            continue
+        if p1[src] != p1[dst]:
+            if inequiv_1 is None:
+                inequiv_1 = (src, dst)
+        elif p2[src] != p2[dst]:
+            if equiv1_not2 is None:
+                equiv1_not2 = (src, dst)
+        if inequiv_1 is not None and equiv1_not2 is not None:
+            break
+    return TauWitnesses(inequiv_1=inequiv_1, equiv1_not2=equiv1_not2)

@@ -1,0 +1,343 @@
+"""Labelled transition systems (LTSs) for concurrent object verification.
+
+This module implements Definition 2.1 of the paper: an object system is a
+labelled transition system whose visible actions are method invocations
+``(t, call, m(n))`` and method responses ``(t, ret(n'), m)``, and whose
+internal computation steps are the silent action ``tau``.
+
+States are dense integers, actions are interned to dense integers with
+action id ``0`` reserved for ``tau``.  Transitions may carry an optional
+*annotation* (e.g. the thread and source-code line that produced an
+internal step); annotations are kept for diagnostics only and never
+contribute to action identity, so all internal steps are a single
+``tau`` action exactly as the paper requires.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: The canonical label of the silent action.
+TAU: Tuple[str, ...] = ("tau",)
+
+#: The action id of the silent action in every :class:`LTS`.
+TAU_ID: int = 0
+
+
+class LTS:
+    """A finite labelled transition system.
+
+    Attributes
+    ----------
+    init:
+        The initial state (an integer).
+    action_labels:
+        Interned action labels; ``action_labels[0] is TAU``.
+    """
+
+    __slots__ = (
+        "init",
+        "action_labels",
+        "_action_ids",
+        "_src",
+        "_act",
+        "_dst",
+        "_ann",
+        "_num_states",
+        "_succ",
+        "_pred",
+        "_trans_set",
+    )
+
+    def __init__(self) -> None:
+        self.init: int = 0
+        self.action_labels: List[Hashable] = [TAU]
+        self._action_ids: Dict[Hashable, int] = {TAU: TAU_ID}
+        self._src: List[int] = []
+        self._act: List[int] = []
+        self._dst: List[int] = []
+        self._ann: List[Any] = []
+        self._num_states: int = 0
+        self._succ: Optional[List[List[Tuple[int, int]]]] = None
+        self._pred: Optional[List[List[Tuple[int, int]]]] = None
+        self._trans_set: Optional[set] = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_state(self) -> int:
+        """Create a fresh state and return its id."""
+        self._num_states += 1
+        self._invalidate()
+        return self._num_states - 1
+
+    def add_states(self, count: int) -> None:
+        """Create ``count`` fresh states."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._num_states += count
+        self._invalidate()
+
+    def action_id(self, label: Hashable) -> int:
+        """Intern ``label`` and return its dense action id."""
+        aid = self._action_ids.get(label)
+        if aid is None:
+            aid = len(self.action_labels)
+            self.action_labels.append(label)
+            self._action_ids[label] = aid
+        return aid
+
+    def lookup_action(self, label: Hashable) -> Optional[int]:
+        """Return the action id of ``label`` or ``None`` if never used."""
+        return self._action_ids.get(label)
+
+    def add_transition(
+        self,
+        src: int,
+        label: Hashable,
+        dst: int,
+        annotation: Any = None,
+    ) -> None:
+        """Add the transition ``src --label--> dst``.
+
+        ``label`` may be the raw action label or an already-interned
+        action id (an ``int`` that is a valid id).
+        """
+        if isinstance(label, int) and 0 <= label < len(self.action_labels):
+            aid = label
+        else:
+            aid = self.action_id(label)
+        needed = max(src, dst) + 1
+        if needed > self._num_states:
+            self._num_states = needed
+        self._src.append(src)
+        self._act.append(aid)
+        self._dst.append(dst)
+        self._ann.append(annotation)
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._succ = None
+        self._pred = None
+        self._trans_set = None
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self._num_states
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self._src)
+
+    @property
+    def num_actions(self) -> int:
+        return len(self.action_labels)
+
+    def transitions(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over all transitions as ``(src, action_id, dst)``."""
+        return zip(self._src, self._act, self._dst)
+
+    def transitions_with_annotations(self) -> Iterator[Tuple[int, int, int, Any]]:
+        """Iterate over ``(src, action_id, dst, annotation)`` tuples."""
+        return zip(self._src, self._act, self._dst, self._ann)
+
+    def annotation(self, index: int) -> Any:
+        """Return the annotation of the ``index``-th transition."""
+        return self._ann[index]
+
+    def has_transition(self, src: int, aid: int, dst: int) -> bool:
+        """Return whether ``src --aid--> dst`` is a transition."""
+        if self._trans_set is None:
+            self._trans_set = set(zip(self._src, self._act, self._dst))
+        return (src, aid, dst) in self._trans_set
+
+    def successors(self, state: int) -> List[Tuple[int, int]]:
+        """All ``(action_id, dst)`` pairs leaving ``state``."""
+        if self._succ is None:
+            self._build_succ()
+        assert self._succ is not None
+        return self._succ[state]
+
+    def predecessors(self, state: int) -> List[Tuple[int, int]]:
+        """All ``(action_id, src)`` pairs entering ``state``."""
+        if self._pred is None:
+            self._build_pred()
+        assert self._pred is not None
+        return self._pred[state]
+
+    def tau_successors(self, state: int) -> List[int]:
+        """Targets of tau transitions leaving ``state``."""
+        return [dst for aid, dst in self.successors(state) if aid == TAU_ID]
+
+    def visible_successors(self, state: int) -> List[Tuple[int, int]]:
+        """Non-tau ``(action_id, dst)`` pairs leaving ``state``."""
+        return [(aid, dst) for aid, dst in self.successors(state) if aid != TAU_ID]
+
+    def enabled_actions(self, state: int) -> frozenset:
+        """The set of action ids enabled in ``state``."""
+        return frozenset(aid for aid, _ in self.successors(state))
+
+    def _build_succ(self) -> None:
+        succ: List[List[Tuple[int, int]]] = [[] for _ in range(self._num_states)]
+        for src, act, dst in zip(self._src, self._act, self._dst):
+            succ[src].append((act, dst))
+        self._succ = succ
+
+    def _build_pred(self) -> None:
+        pred: List[List[Tuple[int, int]]] = [[] for _ in range(self._num_states)]
+        for src, act, dst in zip(self._src, self._act, self._dst):
+            pred[dst].append((act, src))
+        self._pred = pred
+
+    # ------------------------------------------------------------------
+    # derived systems
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> List[int]:
+        """States reachable from the initial state, in BFS order."""
+        if self._num_states == 0:
+            return []
+        seen = [False] * self._num_states
+        seen[self.init] = True
+        order = [self.init]
+        queue = deque(order)
+        while queue:
+            s = queue.popleft()
+            for _aid, dst in self.successors(s):
+                if not seen[dst]:
+                    seen[dst] = True
+                    order.append(dst)
+                    queue.append(dst)
+        return order
+
+    def restrict_reachable(self) -> "LTS":
+        """Return a copy restricted to the states reachable from ``init``."""
+        order = self.reachable_states()
+        remap = {old: new for new, old in enumerate(order)}
+        out = LTS()
+        out.add_states(len(order))
+        out.init = remap[self.init]
+        for src, aid, dst, ann in self.transitions_with_annotations():
+            if src in remap and dst in remap:
+                out.add_transition(remap[src], self.action_labels[aid], remap[dst], ann)
+        return out
+
+    def relabel(self, mapping: Callable[[Hashable], Hashable]) -> "LTS":
+        """Return a copy with every action label passed through ``mapping``."""
+        out = LTS()
+        out.add_states(self._num_states)
+        out.init = self.init
+        for src, aid, dst, ann in self.transitions_with_annotations():
+            out.add_transition(src, mapping(self.action_labels[aid]), dst, ann)
+        return out
+
+    def copy(self) -> "LTS":
+        """Return a structural copy."""
+        return self.relabel(lambda label: label)
+
+
+def disjoint_union(a: LTS, b: LTS) -> Tuple[LTS, int, int]:
+    """Combine ``a`` and ``b`` into one LTS with disjoint state spaces.
+
+    Returns ``(union, init_a, init_b)`` where ``init_a`` / ``init_b``
+    are the images of the two initial states.  The union's own ``init``
+    is ``init_a``.  This is the construction used when two object
+    systems are compared for (divergence-sensitive) branching
+    bisimilarity (Section V of the paper).
+    """
+    out = LTS()
+    out.add_states(a.num_states + b.num_states)
+    offset = a.num_states
+    for src, aid, dst, ann in a.transitions_with_annotations():
+        out.add_transition(src, a.action_labels[aid], dst, ann)
+    for src, aid, dst, ann in b.transitions_with_annotations():
+        out.add_transition(src + offset, b.action_labels[aid], dst + offset, ann)
+    out.init = a.init
+    return out, a.init, b.init + offset
+
+
+class LTSBuilder:
+    """Incremental LTS construction over arbitrary hashable state keys.
+
+    State-space explorers produce states as rich hashable values (tuples
+    of shared memory, heaps and thread records); the builder interns
+    them into dense integers.
+    """
+
+    __slots__ = ("lts", "_state_ids", "state_keys")
+
+    def __init__(self) -> None:
+        self.lts = LTS()
+        self._state_ids: Dict[Hashable, int] = {}
+        self.state_keys: List[Hashable] = []
+
+    def state(self, key: Hashable) -> int:
+        """Intern ``key`` and return its state id."""
+        sid = self._state_ids.get(key)
+        if sid is None:
+            sid = self.lts.add_state()
+            self._state_ids[key] = sid
+            self.state_keys.append(key)
+        return sid
+
+    def known(self, key: Hashable) -> bool:
+        """Return whether ``key`` has already been interned."""
+        return key in self._state_ids
+
+    def transition(
+        self, src_key: Hashable, label: Hashable, dst_key: Hashable, annotation: Any = None
+    ) -> Tuple[int, bool]:
+        """Add a transition between (possibly new) keyed states.
+
+        Returns ``(dst_id, dst_is_new)`` so explorers can drive their
+        work-list from the builder.
+        """
+        src = self.state(src_key)
+        new = dst_key not in self._state_ids
+        dst = self.state(dst_key)
+        self.lts.add_transition(src, label, dst, annotation)
+        return dst, new
+
+    def set_init(self, key: Hashable) -> None:
+        self.lts.init = self.state(key)
+
+
+def make_lts(
+    num_states: int,
+    init: int,
+    transitions: Iterable[Tuple[int, Hashable, int]],
+) -> LTS:
+    """Convenience constructor used heavily by the tests.
+
+    ``transitions`` is an iterable of ``(src, label, dst)`` where a
+    label of ``"tau"`` or :data:`TAU` denotes the silent action.
+    """
+    lts = LTS()
+    lts.add_states(num_states)
+    lts.init = init
+    for src, label, dst in transitions:
+        if label == "tau":
+            label = TAU
+        lts.add_transition(src, label, dst)
+    return lts
+
+
+def to_dot(lts: LTS, name: str = "lts", max_states: int = 2000) -> str:
+    """Render an LTS in GraphViz DOT format (for small systems)."""
+    if lts.num_states > max_states:
+        raise ValueError(
+            f"refusing to render {lts.num_states} states (max {max_states})"
+        )
+    lines = [f"digraph {name} {{", "  rankdir=LR;", f'  init [shape=point]; init -> {lts.init};']
+    for s in range(lts.num_states):
+        lines.append(f'  {s} [shape=circle,label="{s}"];')
+    for src, aid, dst in lts.transitions():
+        label = lts.action_labels[aid]
+        text = "tau" if aid == TAU_ID else str(label)
+        text = text.replace('"', "'")
+        lines.append(f'  {src} -> {dst} [label="{text}"];')
+    lines.append("}")
+    return "\n".join(lines)

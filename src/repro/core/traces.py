@@ -1,0 +1,242 @@
+"""Traces, trace refinement and trace-language partitions.
+
+Trace refinement (Definition 2.2) is the linear-time relation that
+exactly captures linearizability (Theorem 2.3): every history of the
+implementation must be a history of the linearizable specification.
+The paper checks it on the branching-bisimulation quotients
+(Theorem 5.3), which keeps the PSPACE-complete inclusion check
+tractable in practice.
+
+The inclusion checker here is an on-the-fly antichain-pruned subset
+construction with counterexample extraction: a failed check yields the
+shortest offending history (e.g. the HM lock-free list removing the
+same key twice, Section VI.F).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from .graphs import reachability_closure
+from .lts import LTS, TAU_ID
+from .partition import BlockMap, partition_from_key, refine_to_fixpoint
+
+
+def state_tau_closures(lts: LTS) -> List[frozenset]:
+    """Per state, the set of states reachable by zero or more taus."""
+    n = lts.num_states
+    tau_succ: List[List[int]] = [[] for _ in range(n)]
+    for src, aid, dst in lts.transitions():
+        if aid == TAU_ID:
+            tau_succ[src].append(dst)
+    return reachability_closure(n, tau_succ)
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of a trace-refinement check.
+
+    ``holds`` is whether every trace of the implementation is a trace
+    of the specification.  When it fails, ``counterexample`` is a
+    shortest trace (list of visible action labels) of the
+    implementation that the specification cannot produce.
+    """
+
+    holds: bool
+    counterexample: Optional[List[Hashable]] = None
+
+    def render_counterexample(self) -> str:
+        if self.counterexample is None:
+            return "<no counterexample: refinement holds>"
+        lines = ["<initial state>"]
+        for label in self.counterexample:
+            lines.append(f'  "{label}"')
+        lines.append("  -- specification cannot match the last action --")
+        return "\n".join(lines)
+
+
+def trace_refines(impl: LTS, spec: LTS) -> RefinementResult:
+    """Decide ``impl ⊑_tr spec`` (Definition 2.2), with counterexample.
+
+    Both systems must use structurally equal visible action labels.
+    The check walks the implementation while tracking the tau-closed
+    set of specification states reachable by the same trace; a visible
+    implementation step with no specification match is a violation.
+    Pairs ``(s, Q)`` subsumed by an already-visited ``(s, Q')`` with
+    ``Q' ⊆ Q`` are pruned (antichain optimization).
+    """
+    spec_closures = state_tau_closures(spec)
+
+    # Specification visible steps, indexed by (state, impl action id).
+    label_to_impl_aid: Dict[Hashable, int] = {}
+    for aid, label in enumerate(impl.action_labels):
+        if aid != TAU_ID:
+            label_to_impl_aid[label] = aid
+    spec_vis: Dict[Tuple[int, int], List[int]] = {}
+    for src, aid, dst in spec.transitions():
+        if aid == TAU_ID:
+            continue
+        impl_aid = label_to_impl_aid.get(spec.action_labels[aid])
+        if impl_aid is None:
+            continue  # spec action the implementation never performs
+        spec_vis.setdefault((src, impl_aid), []).append(dst)
+
+    def visible_post(states: FrozenSet[int], impl_aid: int) -> FrozenSet[int]:
+        acc: Set[int] = set()
+        for q in states:
+            for dst in spec_vis.get((q, impl_aid), ()):
+                acc |= spec_closures[dst]
+        return frozenset(acc)
+
+    start = (impl.init, spec_closures[spec.init])
+    # Antichain of visited spec-sets per implementation state.
+    visited: Dict[int, List[FrozenSet[int]]] = {impl.init: [start[1]]}
+    parents: Dict[Tuple[int, FrozenSet[int]], Tuple[Optional[Tuple[int, FrozenSet[int]]], Optional[Hashable]]] = {
+        start: (None, None)
+    }
+    queue: deque = deque([start])
+
+    def subsumed(state: int, spec_set: FrozenSet[int]) -> bool:
+        for existing in visited.get(state, ()):
+            if existing <= spec_set:
+                return True
+        return False
+
+    def record(state: int, spec_set: FrozenSet[int]) -> None:
+        chain = visited.setdefault(state, [])
+        chain[:] = [existing for existing in chain if not (spec_set <= existing)]
+        chain.append(spec_set)
+
+    while queue:
+        node = queue.popleft()
+        state, spec_set = node
+        for aid, dst in impl.successors(state):
+            if aid == TAU_ID:
+                succ = (dst, spec_set)
+                if subsumed(dst, spec_set):
+                    continue
+                record(dst, spec_set)
+                parents[succ] = (node, None)
+                queue.append(succ)
+                continue
+            label = impl.action_labels[aid]
+            new_set = visible_post(spec_set, aid)
+            if not new_set:
+                # Violation: reconstruct the trace.
+                trace: List[Hashable] = [label]
+                cursor: Optional[Tuple[int, FrozenSet[int]]] = node
+                while cursor is not None:
+                    parent, step_label = parents[cursor]
+                    if step_label is not None:
+                        trace.append(step_label)
+                    cursor = parent
+                trace.reverse()
+                return RefinementResult(holds=False, counterexample=trace)
+            succ = (dst, new_set)
+            if subsumed(dst, new_set):
+                continue
+            record(dst, new_set)
+            parents[succ] = (node, label)
+            queue.append(succ)
+    return RefinementResult(holds=True)
+
+
+def trace_equivalent(a: LTS, b: LTS) -> bool:
+    """Whether two systems have the same trace sets (mutual refinement)."""
+    return trace_refines(a, b).holds and trace_refines(b, a).holds
+
+
+# ----------------------------------------------------------------------
+# Trace-language partitions (used by the k-trace hierarchy)
+# ----------------------------------------------------------------------
+
+SymbolFn = Callable[[int, int, int], Optional[Hashable]]
+
+
+def language_partition(lts: LTS, symbol_of: SymbolFn) -> BlockMap:
+    """Group states by the language of an on-the-fly relabelled system.
+
+    ``symbol_of(src, action_id, dst)`` maps each transition to an output
+    symbol, or ``None`` for an invisible (epsilon) move.  Two states
+    land in the same block iff the sets of finite symbol sequences
+    emitted from them coincide.  Decided by subset construction plus
+    Moore refinement of the (all-accepting, prefix-closed) DFA.
+    """
+    n = lts.num_states
+    eps_succ: List[List[int]] = [[] for _ in range(n)]
+    symbolic: List[List[Tuple[Hashable, int]]] = [[] for _ in range(n)]
+    for src, aid, dst in lts.transitions():
+        symbol = symbol_of(src, aid, dst)
+        if symbol is None:
+            eps_succ[src].append(dst)
+        else:
+            symbolic[src].append((symbol, dst))
+    closures = reachability_closure(n, eps_succ)
+
+    def closure_of(states: Set[int]) -> FrozenSet[int]:
+        acc: Set[int] = set()
+        for state in states:
+            acc |= closures[state]
+        return frozenset(acc)
+
+    # Subset construction from every state's closure.
+    subset_ids: Dict[FrozenSet[int], int] = {}
+    subsets: List[FrozenSet[int]] = []
+
+    def intern(subset: FrozenSet[int]) -> Tuple[int, bool]:
+        sid = subset_ids.get(subset)
+        if sid is None:
+            sid = len(subsets)
+            subset_ids[subset] = sid
+            subsets.append(subset)
+            return sid, True
+        return sid, False
+
+    start_of_state: List[int] = []
+    work: List[int] = []
+    for state in range(n):
+        sid, is_new = intern(closures[state])
+        start_of_state.append(sid)
+        if is_new:
+            work.append(sid)
+    dfa_succ: List[Dict[Hashable, int]] = []
+    while work:
+        sid = work.pop()
+        while len(dfa_succ) <= sid:
+            dfa_succ.append({})
+        subset = subsets[sid]
+        moves: Dict[Hashable, Set[int]] = {}
+        for q in subset:
+            for symbol, dst in symbolic[q]:
+                moves.setdefault(symbol, set()).add(dst)
+        row: Dict[Hashable, int] = {}
+        for symbol, targets in moves.items():
+            tid, is_new = intern(closure_of(targets))
+            row[symbol] = tid
+            if is_new:
+                work.append(tid)
+        dfa_succ[sid] = row
+    while len(dfa_succ) < len(subsets):
+        dfa_succ.append({})
+
+    # Moore refinement: all subsets accept every prefix they survive, so
+    # language equivalence is the coarsest partition in which equal
+    # blocks have equal {(symbol, block of successor)} signatures.
+    def signatures(block_of: BlockMap) -> Sequence[Hashable]:
+        return [
+            frozenset((symbol, block_of[target]) for symbol, target in row.items())
+            for row in dfa_succ
+        ]
+
+    dfa_blocks = refine_to_fixpoint(len(subsets), signatures)
+    return partition_from_key([dfa_blocks[start_of_state[s]] for s in range(n)])
+
+
+def trace_partition(lts: LTS) -> BlockMap:
+    """Partition of states by ordinary trace equivalence (1-traces)."""
+    return language_partition(
+        lts,
+        lambda src, aid, dst: None if aid == TAU_ID else aid,
+    )

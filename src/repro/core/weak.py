@@ -1,0 +1,138 @@
+"""Weak bisimulation (Milner), plain and with explicit divergence.
+
+Section VII of the paper compares weak against branching bisimulation:
+weak bisimulation does not constrain the intermediate states a silent
+path passes through, so it equates the MS-queue states ``s1`` and
+``s3`` of Fig. 6 that branching bisimulation distinguishes.
+
+Signatures are computed over the *saturated* transition relation
+
+    s  ==a==> t   iff   s ==tau*==> . --a--> . ==tau*==> t   (a visible)
+    s  =======> u iff   s ==tau*==> u                        (silent)
+
+which is partition-independent, so the tau-closures are computed once
+via SCC condensation and reused across sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .graphs import tarjan_scc
+from .lts import LTS, TAU_ID, disjoint_union
+from .partition import BlockMap, refine_to_fixpoint
+from .branching import Comparison, DIVERGENCE_MARK
+
+
+def tau_closures(lts: LTS) -> List[frozenset]:
+    """For every state, the set of states reachable by zero or more taus."""
+    n = lts.num_states
+    tau_succ: List[List[int]] = [[] for _ in range(n)]
+    for src, aid, dst in lts.transitions():
+        if aid == TAU_ID:
+            tau_succ[src].append(dst)
+    comp_of, num_comps = tarjan_scc(n, lambda s: tau_succ[s])
+    members: List[List[int]] = [[] for _ in range(num_comps)]
+    for state in range(n):
+        members[comp_of[state]].append(state)
+    comp_reach: List[set] = [set() for _ in range(num_comps)]
+    for comp in range(num_comps):
+        reach = comp_reach[comp]
+        reach.update(members[comp])
+        for src in members[comp]:
+            for dst in tau_succ[src]:
+                if comp_of[dst] != comp:
+                    reach |= comp_reach[comp_of[dst]]
+    return [frozenset(comp_reach[comp_of[state]]) for state in range(n)]
+
+
+def _weak_step_sets(lts: LTS, closures: List[frozenset]) -> List[frozenset]:
+    """Per state, the saturated visible steps ``{(action, target)}``."""
+    n = lts.num_states
+    # V[u]: visible steps from u itself, targets saturated by trailing taus.
+    direct: List[set] = [set() for _ in range(n)]
+    for src, aid, dst in lts.transitions():
+        if aid != TAU_ID:
+            steps = direct[src]
+            for target in closures[dst]:
+                steps.add((aid, target))
+    out: List[frozenset] = []
+    for state in range(n):
+        acc: set = set()
+        for mid in closures[state]:
+            acc |= direct[mid]
+        out.append(frozenset(acc))
+    return out
+
+
+def _divergence_marks(lts: LTS, block_of: BlockMap) -> List[bool]:
+    """Partition-relative divergence (Definition 5.4): a state is marked
+    iff it can reach, through silent steps that stay inside its block,
+    a silent cycle inside that block."""
+    n = lts.num_states
+    inert: List[List[int]] = [[] for _ in range(n)]
+    for src, aid, dst in lts.transitions():
+        if aid == TAU_ID and block_of[src] == block_of[dst]:
+            inert[src].append(dst)
+    comp_of, num_comps = tarjan_scc(n, lambda s: inert[s])
+    members: List[List[int]] = [[] for _ in range(num_comps)]
+    for state in range(n):
+        members[comp_of[state]].append(state)
+    divergent = [False] * num_comps
+    for comp in range(num_comps):
+        if len(members[comp]) > 1:
+            divergent[comp] = True
+    for src in range(n):
+        for dst in inert[src]:
+            if comp_of[src] == comp_of[dst]:
+                divergent[comp_of[src]] = True
+    for comp in range(num_comps):
+        if divergent[comp]:
+            continue
+        for src in members[comp]:
+            if any(divergent[comp_of[dst]] for dst in inert[src]):
+                divergent[comp] = True
+                break
+    return [divergent[comp_of[state]] for state in range(n)]
+
+
+def weak_partition(
+    lts: LTS,
+    divergence: bool = False,
+    initial: Optional[BlockMap] = None,
+) -> BlockMap:
+    """Partition of the states of ``lts`` under weak bisimilarity.
+
+    With ``divergence=True`` this is weak bisimulation with explicit
+    divergence (the variant mentioned alongside Table VII).
+    """
+    closures = tau_closures(lts)
+    weak_steps = _weak_step_sets(lts, closures)
+    n = lts.num_states
+
+    def signatures(block_of: BlockMap):
+        marks = _divergence_marks(lts, block_of) if divergence else None
+        sigs = []
+        for state in range(n):
+            acc = {(aid, block_of[target]) for aid, target in weak_steps[state]}
+            for target in closures[state]:
+                acc.add((TAU_ID, block_of[target]))
+            if marks is not None and marks[state]:
+                acc.add(DIVERGENCE_MARK)
+            sigs.append(frozenset(acc))
+        return sigs
+
+    return refine_to_fixpoint(n, signatures, initial=initial)
+
+
+def compare_weak(a: LTS, b: LTS, divergence: bool = False) -> Comparison:
+    """Decide whether two LTSs are weakly bisimilar."""
+    union, init_a, init_b = disjoint_union(a, b)
+    block_of = weak_partition(union, divergence=divergence)
+    return Comparison(
+        equivalent=block_of[init_a] == block_of[init_b],
+        union=union,
+        block_of=block_of,
+        init_a=init_a,
+        init_b=init_b,
+    )

@@ -1,0 +1,105 @@
+"""Modeling language for concurrent objects (the paper's LNT substitute).
+
+Concurrent data structures are written as :class:`ObjectProgram`\\ s:
+shared globals, a node heap, and methods built from atomic instructions
+(:mod:`repro.lang.ops`) and structured statements
+(:mod:`repro.lang.stmts`).  :func:`explore` composes the program with a
+most-general client into the object-system LTS of Definition 2.1;
+:func:`spec_lts` does the same for sequential specifications.
+"""
+
+from .values import EMPTY, NULL, Ref, Symbol, is_ref
+from .state import ModelError, canonicalize
+from .ops import (
+    Alloc,
+    Assume,
+    AtomicBlock,
+    Branch,
+    CasField,
+    CasGlobal,
+    FetchAddGlobal,
+    Free,
+    Jump,
+    LocalAssign,
+    Lock,
+    LockField,
+    Op,
+    ReadField,
+    ReadGlobal,
+    Return,
+    SwapField,
+    Unlock,
+    UnlockField,
+    WriteField,
+    WriteGlobal,
+    evaluate,
+)
+from .stmts import Break, Continue, Goto, If, Label, Stmt, While, compile_body
+from .program import HeapBuilder, Method, ObjectProgram
+from .client import (
+    ClientConfig,
+    StateExplosion,
+    explore,
+    uniform_workload,
+)
+from .spec import (
+    SpecObject,
+    queue_spec,
+    register_spec,
+    set_spec,
+    spec_lts,
+    stack_spec,
+)
+
+__all__ = [
+    "EMPTY",
+    "NULL",
+    "Ref",
+    "Symbol",
+    "is_ref",
+    "ModelError",
+    "canonicalize",
+    "Alloc",
+    "Assume",
+    "AtomicBlock",
+    "Branch",
+    "CasField",
+    "CasGlobal",
+    "FetchAddGlobal",
+    "Free",
+    "Jump",
+    "LocalAssign",
+    "Lock",
+    "LockField",
+    "Op",
+    "ReadField",
+    "ReadGlobal",
+    "Return",
+    "SwapField",
+    "Unlock",
+    "UnlockField",
+    "WriteField",
+    "WriteGlobal",
+    "evaluate",
+    "Break",
+    "Continue",
+    "Goto",
+    "If",
+    "Label",
+    "Stmt",
+    "While",
+    "compile_body",
+    "HeapBuilder",
+    "Method",
+    "ObjectProgram",
+    "ClientConfig",
+    "StateExplosion",
+    "explore",
+    "uniform_workload",
+    "SpecObject",
+    "queue_spec",
+    "register_spec",
+    "set_spec",
+    "spec_lts",
+    "stack_spec",
+]

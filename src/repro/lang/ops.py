@@ -1,0 +1,362 @@
+"""Flat instruction set of the modeling language.
+
+Each operation is one *atomic* step of the interleaving semantics: one
+shared-memory interaction (read, write, CAS, swap, fetch-and-add, lock,
+allocation) or one purely thread-local computation.  This granularity
+is what makes the models faithful to fine-grained concurrent
+algorithms: every shared access can be interleaved with other threads.
+
+Expressions (guards, operands) are Python callables over the thread's
+local environment ``L`` (a name -> value dict), or a bare string naming
+a local, or a constant.  Expressions may only depend on locals --
+shared state must be pulled into locals by explicit read operations,
+which keeps the atomicity of every model visible in its text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+Expr = Union[str, int, bool, None, Callable[[Dict[str, Any]], Any]]
+
+
+def evaluate(expr: Expr, env: Dict[str, Any]) -> Any:
+    """Evaluate an expression against a local environment.
+
+    Strings name locals; callables receive the environment; anything
+    else is a constant.
+    """
+    if isinstance(expr, str):
+        if expr in env:
+            return env[expr]
+        return expr  # symbolic constant written as a plain string
+    if callable(expr):
+        return expr(env)
+    return expr
+
+
+@dataclass
+class Op:
+    """Base class for instructions; ``line`` is the diagnostic label."""
+
+    line: Optional[str] = field(default=None, init=False)
+
+    def at(self, line: str) -> "Op":
+        """Attach a source-line label (used in transition annotations)."""
+        self.line = line
+        return self
+
+    #: Whether the op only reads/writes thread-local data and is
+    #: deterministic, so the explorer may fuse it into the preceding
+    #: step (a tau-confluence-based reduction).
+    local_only = False
+
+
+@dataclass
+class LocalAssign(Op):
+    """Pure local computation: simultaneous assignments to locals."""
+
+    assigns: Tuple[Tuple[str, Expr], ...] = ()
+    local_only = True
+
+    def __init__(self, **assigns: Expr) -> None:
+        super().__init__()
+        self.assigns = tuple(assigns.items())
+
+
+@dataclass
+class Branch(Op):
+    """Conditional jump on a local expression."""
+
+    cond: Expr = None
+    on_true: int = -1
+    on_false: int = -1
+    local_only = True
+
+    def __init__(self, cond: Expr, on_true: int = -1, on_false: int = -1) -> None:
+        super().__init__()
+        self.cond = cond
+        self.on_true = on_true
+        self.on_false = on_false
+
+
+@dataclass
+class Jump(Op):
+    """Unconditional jump."""
+
+    target: int = -1
+    local_only = True
+
+    def __init__(self, target: int = -1) -> None:
+        super().__init__()
+        self.target = target
+
+
+@dataclass
+class Assume(Op):
+    """Blocks the thread until the local condition holds.
+
+    With a local-only condition a false assume halts the thread forever
+    (used to prune client parameter choices); inside an atomic block it
+    turns the whole block into a guarded command.
+    """
+
+    cond: Expr = None
+
+    def __init__(self, cond: Expr) -> None:
+        super().__init__()
+        self.cond = cond
+
+
+@dataclass
+class ReadGlobal(Op):
+    """``dst := G[name]`` (or ``G[name][index]`` for array globals)."""
+
+    dst: str = ""
+    name: str = ""
+    index: Optional[Expr] = None
+
+    def __init__(self, dst: str, name: str, index: Optional[Expr] = None) -> None:
+        super().__init__()
+        self.dst = dst
+        self.name = name
+        self.index = index
+
+
+@dataclass
+class WriteGlobal(Op):
+    """``G[name] := value`` (or ``G[name][index] := value``)."""
+
+    name: str = ""
+    value: Expr = None
+    index: Optional[Expr] = None
+
+    def __init__(self, name: str, value: Expr, index: Optional[Expr] = None) -> None:
+        super().__init__()
+        self.name = name
+        self.value = value
+        self.index = index
+
+
+@dataclass
+class CasGlobal(Op):
+    """``dst := CAS(G[name], expected, new)`` -- Fig. 2's primitive."""
+
+    dst: Optional[str] = None
+    name: str = ""
+    expected: Expr = None
+    new: Expr = None
+    index: Optional[Expr] = None
+
+    def __init__(
+        self,
+        dst: Optional[str],
+        name: str,
+        expected: Expr,
+        new: Expr,
+        index: Optional[Expr] = None,
+    ) -> None:
+        super().__init__()
+        self.dst = dst
+        self.name = name
+        self.expected = expected
+        self.new = new
+        self.index = index
+
+
+@dataclass
+class FetchAddGlobal(Op):
+    """``dst := G[name]; G[name] += delta`` atomically (HW queue's INC)."""
+
+    dst: Optional[str] = None
+    name: str = ""
+    delta: Expr = 1
+
+    def __init__(self, dst: Optional[str], name: str, delta: Expr = 1) -> None:
+        super().__init__()
+        self.dst = dst
+        self.name = name
+        self.delta = delta
+
+
+@dataclass
+class ReadField(Op):
+    """``dst := ptr.field``."""
+
+    dst: str = ""
+    ptr: Expr = None
+    fieldname: str = ""
+
+    def __init__(self, dst: str, ptr: Expr, fieldname: str) -> None:
+        super().__init__()
+        self.dst = dst
+        self.ptr = ptr
+        self.fieldname = fieldname
+
+
+@dataclass
+class WriteField(Op):
+    """``ptr.field := value``."""
+
+    ptr: Expr = None
+    fieldname: str = ""
+    value: Expr = None
+
+    def __init__(self, ptr: Expr, fieldname: str, value: Expr) -> None:
+        super().__init__()
+        self.ptr = ptr
+        self.fieldname = fieldname
+        self.value = value
+
+
+@dataclass
+class CasField(Op):
+    """``dst := CAS(ptr.field, expected, new)``."""
+
+    dst: Optional[str] = None
+    ptr: Expr = None
+    fieldname: str = ""
+    expected: Expr = None
+    new: Expr = None
+
+    def __init__(
+        self, dst: Optional[str], ptr: Expr, fieldname: str, expected: Expr, new: Expr
+    ) -> None:
+        super().__init__()
+        self.dst = dst
+        self.ptr = ptr
+        self.fieldname = fieldname
+        self.expected = expected
+        self.new = new
+
+
+@dataclass
+class SwapField(Op):
+    """``dst := ptr.field; ptr.field := value`` atomically (HW queue's SWAP)."""
+
+    dst: Optional[str] = None
+    ptr: Expr = None
+    fieldname: str = ""
+    value: Expr = None
+
+    def __init__(self, dst: Optional[str], ptr: Expr, fieldname: str, value: Expr) -> None:
+        super().__init__()
+        self.dst = dst
+        self.ptr = ptr
+        self.fieldname = fieldname
+        self.value = value
+
+
+@dataclass
+class Alloc(Op):
+    """``dst := new Node(fields)``.
+
+    Allocation branches nondeterministically over a brand-new node and
+    every *freed* node that is still referenced somewhere (canonical
+    garbage collection removes unreferenced ones).  Reusing a freed,
+    still-referenced node is exactly what makes ABA scenarios -- and
+    hence the hazard-pointer benchmarks -- observable.
+    """
+
+    dst: str = ""
+    fields: Tuple[Tuple[str, Expr], ...] = ()
+
+    def __init__(self, dst: str, **fields: Expr) -> None:
+        super().__init__()
+        self.dst = dst
+        self.fields = tuple(fields.items())
+
+
+@dataclass
+class Free(Op):
+    """Mark the node ``ptr`` as freed (eligible for reallocation)."""
+
+    ptr: Expr = None
+
+    def __init__(self, ptr: Expr) -> None:
+        super().__init__()
+        self.ptr = ptr
+
+
+@dataclass
+class Lock(Op):
+    """Acquire a global lock variable (blocking-enabledness semantics).
+
+    The step is enabled only when the lock is free, so lock-based
+    algorithms do not generate busy-wait divergences; this matches the
+    paper's treatment where the lock-based lists (Table II bottom) are
+    checked for linearizability only.
+    """
+
+    name: str = ""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+
+@dataclass
+class Unlock(Op):
+    """Release a global lock variable."""
+
+    name: str = ""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+
+
+@dataclass
+class LockField(Op):
+    """Acquire a per-node lock stored in ``ptr.field``."""
+
+    ptr: Expr = None
+    fieldname: str = "lock"
+
+    def __init__(self, ptr: Expr, fieldname: str = "lock") -> None:
+        super().__init__()
+        self.ptr = ptr
+        self.fieldname = fieldname
+
+
+@dataclass
+class UnlockField(Op):
+    """Release a per-node lock stored in ``ptr.field``."""
+
+    ptr: Expr = None
+    fieldname: str = "lock"
+
+    def __init__(self, ptr: Expr, fieldname: str = "lock") -> None:
+        super().__init__()
+        self.ptr = ptr
+        self.fieldname = fieldname
+
+
+@dataclass
+class AtomicBlock(Op):
+    """Run a whole sub-program as one indivisible step.
+
+    This is the paper's atomic block: specifications have one per
+    method body (Section II.C); abstract objects for Theorem 5.8 have a
+    few (e.g. Fig. 8's two-block abstract dequeue).  A blocked
+    operation inside the body (failed assume / busy lock) disables the
+    corresponding branch of the whole block.
+    """
+
+    body: Tuple[Op, ...] = ()
+
+    def __init__(self, body: List[Op]) -> None:
+        super().__init__()
+        self.body = tuple(body)
+
+
+@dataclass
+class Return(Op):
+    """Finish the method, producing the visible return action."""
+
+    value: Expr = None
+
+    def __init__(self, value: Expr = None) -> None:
+        super().__init__()
+        self.value = value

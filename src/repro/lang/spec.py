@@ -1,0 +1,194 @@
+"""Linearizable specifications (Section II.C).
+
+A specification turns each method body into a single atomic block over
+a sequential abstract state: a method execution is exactly three steps
+-- the call action, one internal tau applying the sequential semantics,
+and the return action.  ``spec_lts`` generates the specification's LTS
+under the same most-general client (and the same action labels) as the
+implementation, which is what both the trace-refinement check
+(Theorem 5.3) and the bisimulation comparisons (Table VII) require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..core.lts import LTS, LTSBuilder, TAU
+from .client import StateExplosion, Workload
+from .state import ModelError
+
+#: A sequential method: ``(state, args) -> [(new_state, return_value), ...]``.
+#: Multiple results model specification-level nondeterminism.
+SpecMethod = Callable[[Any, Tuple[Any, ...]], List[Tuple[Any, Any]]]
+
+
+@dataclass
+class SpecObject:
+    """A sequential object specification.
+
+    ``initial`` must be hashable (tuples/frozensets for containers).
+    """
+
+    name: str
+    initial: Hashable
+    methods: Dict[str, SpecMethod] = field(default_factory=dict)
+
+    def method(self, name: str) -> SpecMethod:
+        try:
+            return self.methods[name]
+        except KeyError:
+            raise ModelError(f"unknown spec method {name!r}") from None
+
+
+# Thread phases.
+_IDLE = 0
+_PENDING = 1     # called, atomic block not yet executed
+_DONE = 2        # atomic block executed, return pending
+
+
+def spec_lts(
+    spec: SpecObject,
+    num_threads: int,
+    ops_per_thread: int,
+    workload: Workload,
+    max_states: Optional[int] = None,
+) -> LTS:
+    """The linearizable specification LTS under the most general client."""
+    if not workload:
+        raise ModelError("empty workload: nothing for the client to invoke")
+    for mname, _args in workload:
+        spec.method(mname)
+
+    builder = LTSBuilder()
+    if isinstance(ops_per_thread, int):
+        budgets = tuple(ops_per_thread for _ in range(num_threads))
+    else:
+        budgets = tuple(ops_per_thread)
+        if len(budgets) != num_threads:
+            raise ModelError("one budget per thread required")
+    init_key = (
+        spec.initial,
+        tuple((_IDLE, None, None, None, budget) for budget in budgets),
+    )
+    builder.set_init(init_key)
+    stack: List[Any] = [init_key]
+
+    while stack:
+        key = stack.pop()
+        if max_states is not None and builder.lts.num_states > max_states:
+            raise StateExplosion(f"{spec.name}: more than {max_states} states")
+        abstract, threads = key
+        for tid, record in enumerate(threads):
+            phase, mname, args, ret, budget = record
+            if phase == _IDLE:
+                if budget <= 0:
+                    continue
+                for wm, wargs in workload:
+                    new_record = (_PENDING, wm, wargs, None, budget - 1)
+                    new_threads = threads[:tid] + (new_record,) + threads[tid + 1:]
+                    label = ("call", tid + 1, wm, wargs)
+                    dst = (abstract, new_threads)
+                    _, is_new = builder.transition(key, label, dst)
+                    if is_new:
+                        stack.append(dst)
+            elif phase == _PENDING:
+                for new_abstract, value in spec.method(mname)(abstract, args):
+                    new_record = (_DONE, mname, args, value, budget)
+                    new_threads = threads[:tid] + (new_record,) + threads[tid + 1:]
+                    dst = (new_abstract, new_threads)
+                    _, is_new = builder.transition(
+                        key, TAU, dst, f"t{tid + 1}.atomic"
+                    )
+                    if is_new:
+                        stack.append(dst)
+            else:
+                new_record = (_IDLE, None, None, None, budget)
+                new_threads = threads[:tid] + (new_record,) + threads[tid + 1:]
+                label = ("ret", tid + 1, mname, ret)
+                dst = (abstract, new_threads)
+                _, is_new = builder.transition(key, label, dst)
+                if is_new:
+                    stack.append(dst)
+    return builder.lts
+
+
+# ----------------------------------------------------------------------
+# Sequential abstract data types used by the benchmark specifications
+# ----------------------------------------------------------------------
+
+def queue_spec(name: str = "queue-spec", empty_value: Any = None) -> SpecObject:
+    """FIFO queue: ``enq(v)`` and ``deq() -> v | EMPTY``."""
+    from .values import EMPTY
+
+    empty = EMPTY if empty_value is None else empty_value
+
+    def enq(state: Tuple[Any, ...], args: Tuple[Any, ...]):
+        return [(state + (args[0],), None)]
+
+    def deq(state: Tuple[Any, ...], args: Tuple[Any, ...]):
+        if not state:
+            return [(state, empty)]
+        return [(state[1:], state[0])]
+
+    return SpecObject(name=name, initial=(), methods={"enq": enq, "deq": deq})
+
+
+def stack_spec(name: str = "stack-spec", empty_value: Any = None) -> SpecObject:
+    """LIFO stack: ``push(v)`` and ``pop() -> v | EMPTY``."""
+    from .values import EMPTY
+
+    empty = EMPTY if empty_value is None else empty_value
+
+    def push(state: Tuple[Any, ...], args: Tuple[Any, ...]):
+        return [(state + (args[0],), None)]
+
+    def pop(state: Tuple[Any, ...], args: Tuple[Any, ...]):
+        if not state:
+            return [(state, empty)]
+        return [(state[:-1], state[-1])]
+
+    return SpecObject(name=name, initial=(), methods={"push": push, "pop": pop})
+
+
+def set_spec(name: str = "set-spec") -> SpecObject:
+    """Set: ``add(v)``, ``remove(v)``, ``contains(v)`` -> bool."""
+
+    def add(state: frozenset, args: Tuple[Any, ...]):
+        value = args[0]
+        if value in state:
+            return [(state, False)]
+        return [(state | {value}, True)]
+
+    def remove(state: frozenset, args: Tuple[Any, ...]):
+        value = args[0]
+        if value not in state:
+            return [(state, False)]
+        return [(state - {value}, True)]
+
+    def contains(state: frozenset, args: Tuple[Any, ...]):
+        return [(state, args[0] in state)]
+
+    return SpecObject(
+        name=name,
+        initial=frozenset(),
+        methods={"add": add, "remove": remove, "contains": contains},
+    )
+
+
+def register_spec(initial: int = 0, name: str = "register-spec") -> SpecObject:
+    """Register with the paper's NewCompareAndSet method (Fig. 3):
+    returns the prior value; writes only when it equals ``exp``."""
+
+    def new_cas(state: int, args: Tuple[Any, ...]):
+        exp, new = args
+        if state == exp:
+            return [(new, state)]
+        return [(state, state)]
+
+    def read(state: int, args: Tuple[Any, ...]):
+        return [(state, state)]
+
+    return SpecObject(
+        name=name, initial=initial, methods={"newcas": new_cas, "read": read}
+    )

@@ -1,0 +1,153 @@
+"""Structured statements and their compilation to flat instructions.
+
+Algorithms are written with ``If`` / ``While`` / ``Break`` / ``Continue``
+/ ``Label`` / ``Goto`` around the atomic operations of
+:mod:`repro.lang.ops`; the compiler flattens them into an instruction
+list with resolved branch targets.  Control flow itself is thread-local
+and deterministic, so compiled ``Branch``/``Jump`` instructions are
+eligible for local-step fusion in the explorer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Union
+
+from .ops import Branch, Expr, Jump, Op
+from .state import ModelError
+
+
+class Stmt:
+    """Base class for structured statements."""
+
+    line: Optional[str] = None
+
+    def at(self, line: str) -> "Stmt":
+        self.line = line
+        return self
+
+
+@dataclass
+class If(Stmt):
+    """``if cond: then else: els`` over a local condition."""
+
+    cond: Expr
+    then: Sequence[Union[Op, Stmt]]
+    els: Sequence[Union[Op, Stmt]] = ()
+
+    def __post_init__(self) -> None:
+        self.line = None
+
+
+@dataclass
+class While(Stmt):
+    """``while cond: body`` over a local condition (``True`` = forever)."""
+
+    cond: Expr
+    body: Sequence[Union[Op, Stmt]]
+
+    def __post_init__(self) -> None:
+        self.line = None
+
+
+@dataclass
+class Break(Stmt):
+    """Exit the innermost loop."""
+
+
+@dataclass
+class Continue(Stmt):
+    """Jump back to the innermost loop's condition."""
+
+
+@dataclass
+class Label(Stmt):
+    """A jump target."""
+
+    name: str
+
+
+@dataclass
+class Goto(Stmt):
+    """Unstructured jump to a :class:`Label` (for published retry loops)."""
+
+    name: str
+
+
+def compile_body(body: Sequence[Union[Op, Stmt]]) -> List[Op]:
+    """Flatten a structured method body into instructions.
+
+    Returns the instruction list; all ``Branch``/``Jump`` targets are
+    resolved, and falling off the end of the body is a modeling error
+    caught at runtime (method bodies must end in ``Return``).
+    """
+    ops: List[Op] = []
+    labels: dict = {}
+    gotos: List[tuple] = []          # (jump op index, label name)
+    loop_stack: List[tuple] = []     # (continue target, [break jump indices])
+
+    def emit(statements: Sequence[Union[Op, Stmt]]) -> None:
+        for stmt in statements:
+            if isinstance(stmt, Op):
+                ops.append(stmt)
+            elif isinstance(stmt, If):
+                branch = Branch(stmt.cond)
+                if stmt.line:
+                    branch.line = stmt.line
+                ops.append(branch)
+                branch.on_true = len(ops)
+                emit(stmt.then)
+                if stmt.els:
+                    skip = Jump()
+                    ops.append(skip)
+                    branch.on_false = len(ops)
+                    emit(stmt.els)
+                    skip.target = len(ops)
+                else:
+                    branch.on_false = len(ops)
+            elif isinstance(stmt, While):
+                top = len(ops)
+                branch = Branch(stmt.cond)
+                if stmt.line:
+                    branch.line = stmt.line
+                ops.append(branch)
+                branch.on_true = len(ops)
+                loop_stack.append((top, []))
+                emit(stmt.body)
+                back = Jump(top)
+                ops.append(back)
+                branch.on_false = len(ops)
+                _top, breaks = loop_stack.pop()
+                for index in breaks:
+                    ops[index].target = len(ops)
+            elif isinstance(stmt, Break):
+                if not loop_stack:
+                    raise ModelError("break outside loop")
+                jump = Jump()
+                loop_stack[-1][1].append(len(ops))
+                ops.append(jump)
+            elif isinstance(stmt, Continue):
+                if not loop_stack:
+                    raise ModelError("continue outside loop")
+                ops.append(Jump(loop_stack[-1][0]))
+            elif isinstance(stmt, Label):
+                if stmt.name in labels:
+                    raise ModelError(f"duplicate label {stmt.name!r}")
+                labels[stmt.name] = len(ops)
+            elif isinstance(stmt, Goto):
+                gotos.append((len(ops), stmt.name))
+                ops.append(Jump())
+            else:
+                raise ModelError(f"not a statement: {stmt!r}")
+
+    emit(body)
+    for index, name in gotos:
+        if name not in labels:
+            raise ModelError(f"goto to unknown label {name!r}")
+        ops[index].target = labels[name]
+    for op in ops:
+        if isinstance(op, Branch) and (op.on_true < 0 or op.on_false < 0):
+            raise ModelError("unresolved branch target")
+        if isinstance(op, Jump) and op.target < 0:
+            raise ModelError("unresolved jump target")
+    return ops

@@ -1,0 +1,66 @@
+"""Next-free LTL model checking for progress properties.
+
+``check_ltl(lts, formula)`` decides whether every execution of an
+object system satisfies an action-based next-free LTL formula, via the
+GPVW tableau, counter degeneralization and nested-DFS emptiness.
+:mod:`repro.ltl.progress` packages the paper's progress properties.
+"""
+
+from .syntax import (
+    AP,
+    FALSE,
+    TRUE,
+    And,
+    Finally,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    Release,
+    Until,
+    negation_normal_form,
+    parse,
+    render,
+)
+from .buchi import Buchi, GeneralizedBuchi, degeneralize, gpvw, ltl_to_buchi
+from .product import DEADLOCK, LtlResult, check_ltl, stutter_complete
+from .progress import (
+    CALL,
+    RET,
+    TERMINATED,
+    check_lock_freedom_ltl,
+    lock_freedom_formula,
+    thread_response_formula,
+)
+
+__all__ = [
+    "AP",
+    "FALSE",
+    "TRUE",
+    "And",
+    "Finally",
+    "Globally",
+    "Implies",
+    "Not",
+    "Or",
+    "Release",
+    "Until",
+    "negation_normal_form",
+    "parse",
+    "render",
+    "Buchi",
+    "GeneralizedBuchi",
+    "degeneralize",
+    "gpvw",
+    "ltl_to_buchi",
+    "DEADLOCK",
+    "LtlResult",
+    "check_ltl",
+    "stutter_complete",
+    "CALL",
+    "RET",
+    "TERMINATED",
+    "check_lock_freedom_ltl",
+    "lock_freedom_formula",
+    "thread_response_formula",
+]

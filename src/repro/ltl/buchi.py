@@ -1,0 +1,295 @@
+"""LTL to Büchi automaton translation (Gerth-Peled-Vardi-Wolper).
+
+The classic tableau construction: formulas in negation normal form are
+expanded into automaton nodes carrying ``old`` (literals + processed
+subformulas), ``next`` (obligations for the next letter) and incoming
+edges.  The result is a generalized Büchi automaton with one acceptance
+set per Until-subformula, then degeneralized with a counter.
+
+Automaton convention: reading letter ``x`` moving *into* node ``n``
+requires ``x`` to satisfy every positive AP literal of ``old(n)`` and
+to violate every negated one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from .syntax import AP, FALSE, TRUE, negation_normal_form
+
+
+def _is_literal(phi) -> bool:
+    if phi == TRUE or phi == FALSE or isinstance(phi, AP):
+        return True
+    return isinstance(phi, tuple) and phi[0] == "not" and isinstance(phi[1], AP)
+
+
+def _negate_literal(phi):
+    if isinstance(phi, AP):
+        return ("not", phi)
+    if isinstance(phi, tuple) and phi[0] == "not":
+        return phi[1]
+    if phi == TRUE:
+        return FALSE
+    return TRUE
+
+
+@dataclass
+class _Node:
+    name: int
+    incoming: Set[int] = field(default_factory=set)
+    new: Set = field(default_factory=set)
+    old: Set = field(default_factory=set)
+    next: Set = field(default_factory=set)
+
+
+INIT = 0  # virtual initial node id
+
+
+class GeneralizedBuchi:
+    """Output of the GPVW construction."""
+
+    def __init__(self) -> None:
+        self.nodes: List[_Node] = []
+        self.accepting_sets: List[FrozenSet[int]] = []
+
+    def node_literals(self, node: _Node) -> Tuple[List[AP], List[AP]]:
+        positive = [lit for lit in node.old if isinstance(lit, AP)]
+        negative = [
+            lit[1]
+            for lit in node.old
+            if isinstance(lit, tuple) and lit[0] == "not" and isinstance(lit[1], AP)
+        ]
+        return positive, negative
+
+
+def gpvw(formula) -> GeneralizedBuchi:
+    """Construct a generalized Büchi automaton for ``formula``."""
+    phi = negation_normal_form(formula)
+    counter = [INIT]
+
+    def fresh() -> int:
+        counter[0] += 1
+        return counter[0]
+
+    done: List[_Node] = []
+
+    def find_equivalent(node: _Node) -> Optional[_Node]:
+        for existing in done:
+            if existing.old == node.old and existing.next == node.next:
+                return existing
+        return None
+
+    stack: List[_Node] = [
+        _Node(name=fresh(), incoming={INIT}, new={phi})
+    ]
+    while stack:
+        node = stack.pop()
+        if not node.new:
+            existing = find_equivalent(node)
+            if existing is not None:
+                existing.incoming |= node.incoming
+                continue
+            done.append(node)
+            successor = _Node(
+                name=fresh(), incoming={node.name}, new=set(node.next)
+            )
+            stack.append(successor)
+            continue
+        eta = node.new.pop()
+        if eta in node.old:
+            stack.append(node)
+            continue
+        if _is_literal(eta):
+            if eta == FALSE or _negate_literal(eta) in node.old:
+                continue  # contradictory node: discard
+            if eta != TRUE:
+                node.old.add(eta)
+            stack.append(node)
+            continue
+        tag = eta[0]
+        if tag == "and":
+            node.new |= {eta[1], eta[2]} - node.old
+            node.old.add(eta)
+            stack.append(node)
+            continue
+        if tag == "or":
+            left = _Node(
+                name=fresh(),
+                incoming=set(node.incoming),
+                new=node.new | ({eta[1]} - node.old),
+                old=node.old | {eta},
+                next=set(node.next),
+            )
+            right = _Node(
+                name=fresh(),
+                incoming=set(node.incoming),
+                new=node.new | ({eta[2]} - node.old),
+                old=node.old | {eta},
+                next=set(node.next),
+            )
+            stack.append(left)
+            stack.append(right)
+            continue
+        if tag == "U":
+            left = _Node(
+                name=fresh(),
+                incoming=set(node.incoming),
+                new=node.new | ({eta[1]} - node.old),
+                old=node.old | {eta},
+                next=node.next | {eta},
+            )
+            right = _Node(
+                name=fresh(),
+                incoming=set(node.incoming),
+                new=node.new | ({eta[2]} - node.old),
+                old=node.old | {eta},
+                next=set(node.next),
+            )
+            stack.append(left)
+            stack.append(right)
+            continue
+        if tag == "R":
+            left = _Node(
+                name=fresh(),
+                incoming=set(node.incoming),
+                new=node.new | ({eta[2]} - node.old),
+                old=node.old | {eta},
+                next=node.next | {eta},
+            )
+            right = _Node(
+                name=fresh(),
+                incoming=set(node.incoming),
+                new=node.new | ({eta[1], eta[2]} - node.old),
+                old=node.old | {eta},
+                next=set(node.next),
+            )
+            stack.append(left)
+            stack.append(right)
+            continue
+        raise ValueError(f"unknown formula {eta!r}")
+
+    automaton = GeneralizedBuchi()
+    automaton.nodes = done
+
+    def subformulas(psi, acc: Set) -> Set:
+        acc.add(psi)
+        if isinstance(psi, tuple) and psi[0] in ("and", "or", "U", "R", "not"):
+            for child in psi[1:]:
+                subformulas(child, acc)
+        return acc
+
+    untils = [
+        psi
+        for psi in subformulas(phi, set())
+        if isinstance(psi, tuple) and psi[0] == "U"
+    ]
+    for until in untils:
+        members = frozenset(
+            node.name
+            for node in done
+            if until not in node.old or until[2] in node.old
+        )
+        automaton.accepting_sets.append(members)
+    if not untils:
+        automaton.accepting_sets.append(frozenset(node.name for node in done))
+    return automaton
+
+
+@dataclass
+class Buchi:
+    """A (degeneralized) Büchi automaton over action labels.
+
+    ``transitions[q]`` lists ``(positive, negative, q')``: the move is
+    enabled for letter ``x`` iff every AP in ``positive`` matches ``x``
+    and none in ``negative`` does.  ``initial`` states are entered
+    *before* reading the first letter.
+    """
+
+    num_states: int
+    initial: List[int]
+    transitions: Dict[int, List[Tuple[Tuple[AP, ...], Tuple[AP, ...], int]]]
+    accepting: FrozenSet[int]
+
+
+def degeneralize(gba: GeneralizedBuchi) -> Buchi:
+    """Counter-based degeneralization of a generalized Büchi automaton.
+
+    States are ``(tableau node, counter)``; the counter advances when
+    the source node belongs to the awaited acceptance set, and the
+    Büchi acceptance condition is "counter 0 inside the first set"
+    (Baier & Katoen, Thm 4.56).  A dedicated initial state carries the
+    edges into the nodes the tableau marked as initial.
+    """
+    sets = gba.accepting_sets
+    num_sets = max(1, len(sets))
+    index: Dict[Tuple[int, int], int] = {}
+
+    def state(name: int, level: int) -> int:
+        key = (name, level)
+        if key not in index:
+            index[key] = len(index) + 1   # 0 is reserved for the init state
+        return index[key]
+
+    transitions: Dict[int, List[Tuple[Tuple[AP, ...], Tuple[AP, ...], int]]] = {0: []}
+    accepting: Set[int] = set()
+    work: List[Tuple[int, int]] = []
+    seen: Set[Tuple[int, int]] = set()
+
+    def add_edge(src: int, node: _Node, level: int) -> None:
+        positive, negative = _gba_literals(node)
+        dst = state(node.name, level)
+        transitions.setdefault(src, []).append((positive, negative, dst))
+        if (node.name, level) not in seen:
+            seen.add((node.name, level))
+            work.append((node.name, level))
+
+    for node in gba.nodes:
+        if INIT in node.incoming:
+            add_edge(0, node, 0)
+
+    by_level_members = [set(s) for s in sets] if sets else [set()]
+    while work:
+        name, level = work.pop()
+        src = state(name, level)
+        transitions.setdefault(src, [])
+        if level == 0 and (not sets or name in by_level_members[0]):
+            accepting.add(src)
+        if sets and name in by_level_members[level]:
+            out_level = (level + 1) % num_sets
+        elif not sets:
+            out_level = 0
+        else:
+            out_level = level
+        for node in gba.nodes:
+            if name in node.incoming:
+                add_edge(src, node, out_level)
+
+    return Buchi(
+        num_states=len(index) + 1,
+        initial=[0],
+        transitions=transitions,
+        accepting=frozenset(accepting),
+    )
+
+
+def _gba_literals(node: _Node) -> Tuple[Tuple[AP, ...], Tuple[AP, ...]]:
+    positive = tuple(sorted(
+        (lit for lit in node.old if isinstance(lit, AP)),
+        key=lambda ap: ap.name,
+    ))
+    negative = tuple(sorted(
+        (
+            lit[1]
+            for lit in node.old
+            if isinstance(lit, tuple) and lit[0] == "not" and isinstance(lit[1], AP)
+        ),
+        key=lambda ap: ap.name,
+    ))
+    return positive, negative
+
+
+def ltl_to_buchi(formula) -> Buchi:
+    """Full pipeline: NNF -> GPVW tableau -> degeneralized Büchi."""
+    return degeneralize(gpvw(formula))

@@ -1,0 +1,243 @@
+"""Next-free LTL over actions: syntax, combinators and a small parser.
+
+The paper formulates progress properties (lock-freedom, wait-freedom)
+in next-free LTL ([8], [26] in its bibliography).  Formulas here are
+*action-based*: atomic propositions are predicates over transition
+labels (e.g. "some return action", "a call by thread 1").
+
+The fragment is negation-closed and next-free::
+
+    phi ::= true | false | ap | !phi | phi & phi | phi | phi
+          | phi U phi | phi R phi | F phi | G phi | phi -> phi
+
+Formulas are hash-consed into frozen tuples so they can live in the
+tableau's sets.  :func:`parse` reads the concrete syntax above given a
+dictionary of named propositions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Tuple
+
+Matcher = Callable[[Hashable], bool]
+
+
+@dataclass(frozen=True)
+class AP:
+    """An atomic proposition over action labels.
+
+    ``name`` is the identity (two APs with equal names are the same
+    proposition); ``matcher`` evaluates the proposition on a label.
+    """
+
+    name: str
+    matcher: Matcher = None  # type: ignore[assignment]
+
+    def __hash__(self) -> int:
+        return hash(("AP", self.name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AP) and other.name == self.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+TRUE = ("true",)
+FALSE = ("false",)
+
+
+def Not(phi):         # noqa: N802  (constructor-style names)
+    return ("not", phi)
+
+
+def And(left, right):  # noqa: N802
+    return ("and", left, right)
+
+
+def Or(left, right):   # noqa: N802
+    return ("or", left, right)
+
+
+def Until(left, right):  # noqa: N802
+    return ("U", left, right)
+
+
+def Release(left, right):  # noqa: N802
+    return ("R", left, right)
+
+
+def Finally(phi):      # noqa: N802
+    return Until(TRUE, phi)
+
+
+def Globally(phi):     # noqa: N802
+    return Release(FALSE, phi)
+
+
+def Implies(left, right):  # noqa: N802
+    return Or(Not(left), right)
+
+
+def negation_normal_form(phi):
+    """Push negations down to atomic propositions."""
+    if phi == TRUE or phi == FALSE or isinstance(phi, AP):
+        return phi
+    tag = phi[0]
+    if tag == "not":
+        inner = phi[1]
+        if inner == TRUE:
+            return FALSE
+        if inner == FALSE:
+            return TRUE
+        if isinstance(inner, AP):
+            return phi
+        itag = inner[0]
+        if itag == "not":
+            return negation_normal_form(inner[1])
+        if itag == "and":
+            return Or(
+                negation_normal_form(Not(inner[1])),
+                negation_normal_form(Not(inner[2])),
+            )
+        if itag == "or":
+            return And(
+                negation_normal_form(Not(inner[1])),
+                negation_normal_form(Not(inner[2])),
+            )
+        if itag == "U":
+            return Release(
+                negation_normal_form(Not(inner[1])),
+                negation_normal_form(Not(inner[2])),
+            )
+        if itag == "R":
+            return Until(
+                negation_normal_form(Not(inner[1])),
+                negation_normal_form(Not(inner[2])),
+            )
+        raise ValueError(f"unknown formula {inner!r}")
+    if tag in ("and", "or", "U", "R"):
+        return (tag, negation_normal_form(phi[1]), negation_normal_form(phi[2]))
+    raise ValueError(f"unknown formula {phi!r}")
+
+
+def render(phi) -> str:
+    """Human-readable rendering of a formula."""
+    if isinstance(phi, AP):
+        return phi.name
+    if phi == TRUE:
+        return "true"
+    if phi == FALSE:
+        return "false"
+    tag = phi[0]
+    if tag == "not":
+        return f"!{render(phi[1])}"
+    symbol = {"and": "&", "or": "|", "U": "U", "R": "R"}[tag]
+    return f"({render(phi[1])} {symbol} {render(phi[2])})"
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+_BINARY = {"U": Until, "R": Release, "&": And, "|": Or, "->": Implies}
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.items = []
+        index = 0
+        while index < len(text):
+            char = text[index]
+            if char.isspace():
+                index += 1
+            elif text.startswith("->", index):
+                self.items.append("->")
+                index += 2
+            elif char in "()!&|":
+                self.items.append(char)
+                index += 1
+            elif char.isalnum() or char == "_":
+                end = index
+                while end < len(text) and (text[end].isalnum() or text[end] == "_"):
+                    end += 1
+                self.items.append(text[index:end])
+                index = end
+            else:
+                raise ValueError(f"bad character {char!r} in formula")
+        self.pos = 0
+
+    def peek(self):
+        return self.items[self.pos] if self.pos < len(self.items) else None
+
+    def take(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+
+def parse(text: str, propositions: Dict[str, AP]):
+    """Parse a next-free LTL formula.
+
+    ``G``, ``F``, ``!`` are prefix; ``U``, ``R``, ``&``, ``|``, ``->``
+    are right-associative infix (loosest first: ``->``, then ``|``,
+    ``&``, then ``U``/``R``).  Identifiers must appear in
+    ``propositions`` (or be ``true`` / ``false``).
+    """
+    tokens = _Tokens(text)
+
+    def parse_atom():
+        token = tokens.take()
+        if token == "(":
+            inner = parse_implies()
+            if tokens.take() != ")":
+                raise ValueError("missing )")
+            return inner
+        if token == "!":
+            return Not(parse_atom())
+        if token == "G":
+            return Globally(parse_atom())
+        if token == "F":
+            return Finally(parse_atom())
+        if token == "true":
+            return TRUE
+        if token == "false":
+            return FALSE
+        if token in propositions:
+            return propositions[token]
+        raise ValueError(f"unknown proposition {token!r}")
+
+    def parse_temporal():
+        left = parse_atom()
+        token = tokens.peek()
+        if token in ("U", "R"):
+            tokens.take()
+            return _BINARY[token](left, parse_temporal())
+        return left
+
+    def parse_and():
+        left = parse_temporal()
+        while tokens.peek() == "&":
+            tokens.take()
+            left = And(left, parse_temporal())
+        return left
+
+    def parse_or():
+        left = parse_and()
+        while tokens.peek() == "|":
+            tokens.take()
+            left = Or(left, parse_and())
+        return left
+
+    def parse_implies():
+        left = parse_or()
+        if tokens.peek() == "->":
+            tokens.take()
+            return Implies(left, parse_implies())
+        return left
+
+    result = parse_implies()
+    if tokens.peek() is not None:
+        raise ValueError(f"trailing tokens at {tokens.peek()!r}")
+    return result

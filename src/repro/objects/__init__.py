@@ -1,0 +1,64 @@
+"""The paper's 14 benchmark concurrent data structures (Table II).
+
+Every algorithm is modeled from its original publication in the
+``repro.lang`` DSL; buggy variants (rows 3 and 9-1) are kept alongside
+the correct ones so the paper's bug hunts can be reproduced.  The
+:mod:`registry` ties each model to its specification, workload,
+expected verdicts and (where the paper builds one) abstract program.
+"""
+
+from . import (
+    ccas,
+    dglm_queue,
+    fine_list,
+    hm_list,
+    hsy_stack,
+    hw_queue,
+    lazy_list,
+    ms_queue,
+    newcas,
+    optimistic_list,
+    rdcss,
+    treiber,
+    treiber_hp,
+)
+from .registry import (
+    BENCHMARKS,
+    Benchmark,
+    all_benchmarks,
+    ccas_workload,
+    get,
+    newcas_workload,
+    queue_workload,
+    rdcss_workload,
+    set_workload,
+    set_workload_with_contains,
+    stack_workload,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "all_benchmarks",
+    "get",
+    "ccas",
+    "dglm_queue",
+    "fine_list",
+    "hm_list",
+    "hsy_stack",
+    "hw_queue",
+    "lazy_list",
+    "ms_queue",
+    "newcas",
+    "optimistic_list",
+    "rdcss",
+    "treiber",
+    "treiber_hp",
+    "ccas_workload",
+    "newcas_workload",
+    "queue_workload",
+    "rdcss_workload",
+    "set_workload",
+    "set_workload_with_contains",
+    "stack_workload",
+]

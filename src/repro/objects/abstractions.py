@@ -1,0 +1,280 @@
+"""Abstract object programs for Theorem 5.8 (Section VI.C/VI.D.2).
+
+An abstract object is a coarser-grained concurrent implementation made
+of a few atomic blocks.  If the concrete object is divergence-sensitive
+branching bisimilar to its abstract object, progress properties carry
+over (Theorem 5.8), so lock-freedom can be checked on the much smaller
+abstract program.  The paper constructs abstract programs for the MS
+queue, DGLM queue, CCAS and RDCSS; this module reproduces them.
+
+The abstract queue is Fig. 8: ``Enq_abs`` is a single atomic block
+(same as the specification); ``Deq_abs`` needs two -- the first (L42)
+is the linearization point for the empty case, the second (L44)
+dequeues if the head has not moved since, otherwise the loop restarts.
+"Head moved" is tracked with a version counter that successful
+dequeues bump, mirroring pointer change of ``Head`` in the concrete
+queue.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    AtomicBlock,
+    EMPTY,
+    If,
+    LocalAssign,
+    Method,
+    ObjectProgram,
+    ReadGlobal,
+    Return,
+    While,
+    WriteGlobal,
+)
+
+
+# ----------------------------------------------------------------------
+# Abstract MS / DGLM queue (Fig. 8)
+# ----------------------------------------------------------------------
+
+def abs_enqueue() -> Method:
+    """One atomic block: identical to the specification's Enq_spec."""
+    return Method(
+        "enq",
+        params=["v"],
+        locals_={"q": None},
+        body=[
+            AtomicBlock([
+                ReadGlobal("q", "Q"),
+                WriteGlobal("Q", lambda L: L["q"] + (L["v"],)),
+            ]).at("L40"),
+            Return(None).at("L41"),
+        ],
+    )
+
+
+def abs_dequeue() -> Method:
+    """Two atomic blocks (Fig. 8's lines 42 and 44)."""
+    return Method(
+        "deq",
+        params=[],
+        locals_={"q": None, "vh": None, "vh2": None, "v": None},
+        body=[
+            While(True, [
+                AtomicBlock([
+                    ReadGlobal("q", "Q"),
+                    If(lambda L: L["q"] == (), [Return(EMPTY)]),
+                    ReadGlobal("vh", "VH"),
+                ]).at("L42"),
+                AtomicBlock([
+                    ReadGlobal("vh2", "VH"),
+                    If(lambda L: L["vh2"] == L["vh"], [
+                        ReadGlobal("q", "Q"),
+                        LocalAssign(v=lambda L: L["q"][0]),
+                        WriteGlobal("Q", lambda L: L["q"][1:]),
+                        WriteGlobal("VH", lambda L: L["vh2"] + 1),
+                        Return("v"),
+                    ]),
+                ]).at("L44"),
+            ]).at("L42-44"),
+        ],
+    )
+
+
+def abstract_queue(num_threads: int) -> ObjectProgram:
+    """The common abstract object of the MS and DGLM queues (Fig. 8)."""
+    return ObjectProgram(
+        "abstract-queue",
+        methods=[abs_enqueue(), abs_dequeue()],
+        globals_={"Q": (), "VH": 0},
+    )
+
+
+# ----------------------------------------------------------------------
+# Abstract CCAS
+# ----------------------------------------------------------------------
+#
+# The pending operation is a tuple ``(e, n, seq)`` in the global PEND
+# (``seq`` from a global counter gives each installation the identity
+# that a fresh descriptor node gives the concrete algorithm).  The
+# completion is deliberately TWO blocks -- decide (read PEND + Flag
+# together) and commit (apply the decision if the same installation is
+# still pending) -- because the concrete algorithm's helpers can hold a
+# *stale* flag decision across a concurrent ``setflag`` and still win
+# the completion race; a single-block completion lacks that branching
+# potential and is not branching bisimilar to the concrete object.
+
+
+def abs_ccas() -> Method:
+    """Install/observe + decide + commit blocks (see module comment)."""
+    return Method(
+        "ccas",
+        params=["e", "n"],
+        locals_={
+            "pend": None, "f": None, "d": None, "my": None,
+            "seq": None, "installed": False,
+        },
+        body=[
+            While(True, [
+                AtomicBlock([
+                    ReadGlobal("pend", "PEND"),
+                    If(lambda L: L["pend"] is None, [
+                        ReadGlobal("d", "Data"),
+                        If(lambda L: L["d"] != L["e"], [
+                            Return("d"),          # fail, decided atomically
+                        ], [
+                            ReadGlobal("seq", "SEQ"),
+                            LocalAssign(
+                                my=lambda L: (L["e"], L["n"], L["seq"]),
+                            ),
+                            WriteGlobal("PEND", "my"),
+                            WriteGlobal("SEQ", lambda L: L["seq"] + 1),
+                            LocalAssign(installed=True),
+                        ]),
+                    ]),
+                ]).at("C42"),
+                If(lambda L: L["installed"], [
+                    # Complete my own installation (helpers may race me).
+                    AtomicBlock([
+                        ReadGlobal("pend", "PEND"),
+                        ReadGlobal("f", "Flag"),
+                    ]).at("C44"),
+                    AtomicBlock([
+                        If(lambda L: L["pend"] == L["my"], [
+                            ReadGlobal("d", "PEND"),
+                            If(lambda L: L["d"] == L["my"], [
+                                If(lambda L: L["f"], [WriteGlobal("Data", "n")]),
+                                WriteGlobal("PEND", None),
+                            ]),
+                        ]),
+                        Return("e"),
+                    ]).at("C45"),
+                ], [
+                    # Help the pending operation: decide, then commit.
+                    AtomicBlock([
+                        ReadGlobal("pend", "PEND"),
+                        ReadGlobal("f", "Flag"),
+                    ]).at("C46"),
+                    AtomicBlock([
+                        If(lambda L: L["pend"] is not None, [
+                            ReadGlobal("d", "PEND"),
+                            If(lambda L: L["d"] == L["pend"], [
+                                If(lambda L: L["f"], [
+                                    WriteGlobal("Data", lambda L: L["pend"][1]),
+                                ]),
+                                WriteGlobal("PEND", None),
+                            ]),
+                        ]),
+                    ]).at("C47"),
+                ]),
+            ]).at("C41"),
+        ],
+    )
+
+
+def abs_setflag() -> Method:
+    return Method(
+        "setflag",
+        params=["v"],
+        body=[
+            AtomicBlock([WriteGlobal("Flag", "v")]).at("F41"),
+            Return(None).at("F42"),
+        ],
+    )
+
+
+def abstract_ccas(num_threads: int, initial: int = 0, flag: bool = False) -> ObjectProgram:
+    return ObjectProgram(
+        "abstract-ccas",
+        methods=[abs_ccas(), abs_setflag()],
+        globals_={"Data": initial, "Flag": flag, "PEND": None, "SEQ": 0},
+    )
+
+
+# ----------------------------------------------------------------------
+# Abstract RDCSS (same decide/commit structure; the control cell A
+# plays the role CCAS's flag plays)
+# ----------------------------------------------------------------------
+
+def abs_rdcss() -> Method:
+    return Method(
+        "rdcss",
+        params=["o1", "o2", "n2"],
+        locals_={
+            "pend": None, "a": None, "b_": None, "my": None,
+            "seq": None, "cur": None, "installed": False,
+        },
+        body=[
+            While(True, [
+                AtomicBlock([
+                    ReadGlobal("pend", "PEND"),
+                    If(lambda L: L["pend"] is None, [
+                        ReadGlobal("b_", "B"),
+                        If(lambda L: L["b_"] != L["o2"], [
+                            Return("b_"),         # fail, decided atomically
+                        ], [
+                            ReadGlobal("seq", "SEQ"),
+                            LocalAssign(
+                                my=lambda L: (L["o1"], L["o2"], L["n2"], L["seq"]),
+                            ),
+                            WriteGlobal("PEND", "my"),
+                            WriteGlobal("SEQ", lambda L: L["seq"] + 1),
+                            LocalAssign(installed=True),
+                        ]),
+                    ]),
+                ]).at("R42"),
+                If(lambda L: L["installed"], [
+                    AtomicBlock([
+                        ReadGlobal("pend", "PEND"),
+                        ReadGlobal("a", "A"),
+                    ]).at("R44"),
+                    AtomicBlock([
+                        If(lambda L: L["pend"] == L["my"], [
+                            ReadGlobal("cur", "PEND"),
+                            If(lambda L: L["cur"] == L["my"], [
+                                If(lambda L: L["a"] == L["o1"], [
+                                    WriteGlobal("B", "n2"),
+                                ]),
+                                WriteGlobal("PEND", None),
+                            ]),
+                        ]),
+                        Return("o2"),
+                    ]).at("R45"),
+                ], [
+                    AtomicBlock([
+                        ReadGlobal("pend", "PEND"),
+                        ReadGlobal("a", "A"),
+                    ]).at("R46"),
+                    AtomicBlock([
+                        If(lambda L: L["pend"] is not None, [
+                            ReadGlobal("cur", "PEND"),
+                            If(lambda L: L["cur"] == L["pend"], [
+                                If(lambda L: L["a"] == L["pend"][0], [
+                                    WriteGlobal("B", lambda L: L["pend"][2]),
+                                ]),
+                                WriteGlobal("PEND", None),
+                            ]),
+                        ]),
+                    ]).at("R47"),
+                ]),
+            ]).at("R41"),
+        ],
+    )
+
+
+def abs_seta() -> Method:
+    return Method(
+        "seta",
+        params=["v"],
+        body=[
+            AtomicBlock([WriteGlobal("A", "v")]).at("A41"),
+            Return(None).at("A42"),
+        ],
+    )
+
+
+def abstract_rdcss(num_threads: int, initial_a: int = 0, initial_b: int = 0) -> ObjectProgram:
+    return ObjectProgram(
+        "abstract-rdcss",
+        methods=[abs_rdcss(), abs_seta()],
+        globals_={"A": initial_a, "B": initial_b, "PEND": None, "SEQ": 0},
+    )

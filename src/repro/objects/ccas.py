@@ -1,0 +1,127 @@
+"""Conditional CAS (CCAS) [29] (Turon et al., POPL'13).
+
+A cell supporting ``ccas(exp, new)``: writes ``new`` only when the cell
+holds ``exp`` *and* a global flag is set; always returns the prior
+(logical) value.  The fine-grained implementation installs a descriptor
+node into the cell with CAS; any thread that encounters a descriptor
+*helps* complete the pending operation before proceeding.  The
+flag-read inside ``complete`` makes the linearization point non-fixed
+(Table I).
+
+Methods: ``ccas(exp, new)`` and ``setflag(v)``.
+The specification executes atomically:
+``old := data; if old == exp and flag: data := new; return old``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..lang import (
+    Alloc,
+    CasGlobal,
+    Continue,
+    HeapBuilder,
+    If,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    SpecObject,
+    While,
+    WriteGlobal,
+    is_ref,
+)
+
+NODE_FIELDS = ["exp", "new"]
+
+
+def _complete_stmts(desc_local: str, prefix: str) -> List:
+    """Help finish the pending operation held in descriptor ``desc_local``.
+
+    Reads the flag, then CASes the cell from the descriptor to either
+    the new or the original value.  Safe to run concurrently: only one
+    CAS can succeed.
+    """
+    return [
+        ReadField(f"{prefix}e", desc_local, "exp").at("C10"),
+        ReadField(f"{prefix}n", desc_local, "new").at("C11"),
+        ReadGlobal(f"{prefix}f", "Flag").at("C12"),
+        If(
+            lambda L, p=prefix: L[f"{p}f"],
+            [CasGlobal(None, "Data", desc_local, f"{prefix}n").at("C13")],
+            [CasGlobal(None, "Data", desc_local, f"{prefix}e").at("C14")],
+        ),
+    ]
+
+
+def ccas_method() -> Method:
+    return Method(
+        "ccas",
+        params=["exp", "new"],
+        locals_={
+            "d": None, "old": None, "b": False,
+            "he": None, "hn": None, "hf": None,
+            "me": None, "mn": None, "mf": None,
+        },
+        body=[
+            Alloc("d", exp="exp", new="new").at("C1"),
+            While(True, [
+                ReadGlobal("old", "Data").at("C3"),
+                If(lambda L: is_ref(L["old"]), [
+                    # Someone else's operation is pending: help it.
+                    *_complete_stmts("old", "h"),
+                    Continue(),
+                ]),
+                If(lambda L: L["old"] != L["exp"], [Return("old").at("C6")]),
+                CasGlobal("b", "Data", "exp", "d").at("C7"),
+                If("b", [
+                    *_complete_stmts("d", "m"),
+                    Return("exp").at("C9"),
+                ]),
+            ]).at("C2"),
+        ],
+    )
+
+
+def setflag_method() -> Method:
+    return Method(
+        "setflag",
+        params=["v"],
+        body=[
+            WriteGlobal("Flag", "v").at("F1"),
+            Return(None).at("F2"),
+        ],
+    )
+
+
+def build(num_threads: int, initial: int = 0, flag: bool = False) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    return ObjectProgram(
+        "ccas",
+        methods=[ccas_method(), setflag_method()],
+        globals_={"Data": initial, "Flag": flag},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+
+
+def spec(initial: int = 0, flag: bool = False) -> SpecObject:
+    """Atomic CCAS specification over ``(data, flag)``."""
+
+    def ccas(state: Tuple[Any, Any], args: Tuple[Any, ...]):
+        data, flg = state
+        exp, new = args
+        if data == exp and flg:
+            return [((new, flg), data)]
+        return [(state, data)]
+
+    def setflag(state: Tuple[Any, Any], args: Tuple[Any, ...]):
+        return [((state[0], args[0]), None)]
+
+    return SpecObject(
+        name="ccas-spec",
+        initial=(initial, flag),
+        methods={"ccas": ccas, "setflag": setflag},
+    )

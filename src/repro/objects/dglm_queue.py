@@ -1,0 +1,67 @@
+"""Doherty-Groves-Luchangco-Moir queue [7].
+
+An optimized variant of the MS queue: dequeue does not consult ``Tail``
+on its fast path; it CASes ``Head`` forward first and only afterwards
+checks whether ``Tail`` lags behind (and helps it along).  Same
+sentinel representation and the same linearizable specification as the
+MS queue (the paper verifies both against one spec, Table VI).
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    CasGlobal,
+    EMPTY,
+    HeapBuilder,
+    If,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    While,
+)
+from .ms_queue import NODE_FIELDS, enqueue_method
+
+
+def dequeue_method() -> Method:
+    """DGLM dequeue: CAS head first, fix the lagging tail afterwards."""
+    return Method(
+        "deq",
+        params=[],
+        locals_={"h": None, "t": None, "n": None, "h2": None, "v": None, "b": False},
+        body=[
+            While(True, [
+                ReadGlobal("h", "Head").at("D2"),
+                ReadField("n", "h", "next").at("D3"),
+                ReadGlobal("h2", "Head").at("D4"),
+                If(lambda L: L["h"] == L["h2"], [
+                    If(lambda L: L["n"] is None, [
+                        Return(EMPTY).at("D6"),
+                    ], [
+                        ReadField("v", "n", "val").at("D8"),
+                        CasGlobal("b", "Head", "h", "n").at("D9"),
+                        If("b", [
+                            ReadGlobal("t", "Tail").at("D11"),
+                            If(lambda L: L["h"] == L["t"], [
+                                CasGlobal(None, "Tail", "t", "n").at("D13"),
+                            ]),
+                            Return("v").at("D14"),
+                        ]),
+                    ]),
+                ]),
+            ]).at("D1"),
+        ],
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    sentinel = heap.alloc(val=0, next=None)
+    return ObjectProgram(
+        "dglm-queue",
+        methods=[enqueue_method(), dequeue_method()],
+        globals_={"Head": sentinel, "Tail": sentinel},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )

@@ -1,0 +1,279 @@
+"""Additional algorithms beyond the paper's 14 case studies.
+
+These widen the benchmark suite with closely related classics; they are
+registered in :data:`EXTRAS` (not in the Table II registry, which stays
+faithful to the paper's case list):
+
+* **MS two-lock queue** -- the blocking queue from the same paper as
+  the lock-free MS queue [25]: one lock guards the head, another the
+  tail, so an enqueue and a dequeue can run concurrently.  Lock-based,
+  linearizable.
+* **Coarse-grained list** -- the baseline list-based set: one global
+  lock around every operation (Herlihy & Shavit ch. 9.4).  Lock-based,
+  trivially linearizable; the natural baseline for rows 12-14.
+* **Tagged Treiber stack** -- Treiber with manual reclamation *and* a
+  version-tagged top pointer: ``Top`` holds ``(node, tag)`` and every
+  successful CAS bumps the tag, which defeats the ABA problem that
+  breaks the untagged free-after-pop variant
+  (``treiber.build_manual_reclamation``).  The classic IBM tag/counter
+  fix, the pre-hazard-pointer alternative for row 2's problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..lang import (
+    Alloc,
+    CasGlobal,
+    EMPTY,
+    Free,
+    HeapBuilder,
+    If,
+    LocalAssign,
+    Lock,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    SpecObject,
+    Unlock,
+    While,
+    WriteField,
+    WriteGlobal,
+    queue_spec,
+    set_spec,
+    stack_spec,
+)
+from .lazy_list import KEY_MAX, KEY_MIN
+from .registry import Benchmark, queue_workload, set_workload, stack_workload
+
+
+# ----------------------------------------------------------------------
+# MS two-lock queue [25]
+# ----------------------------------------------------------------------
+
+def two_lock_enqueue() -> Method:
+    return Method(
+        "enq",
+        params=["v"],
+        locals_={"node": None, "t": None},
+        body=[
+            Alloc("node", val="v", next=None).at("Q1"),
+            Lock("TailLock").at("Q2"),
+            ReadGlobal("t", "Tail").at("Q3"),
+            WriteField("t", "next", "node").at("Q4"),
+            WriteGlobal("Tail", "node").at("Q5"),
+            Unlock("TailLock").at("Q6"),
+            Return(None).at("Q7"),
+        ],
+    )
+
+
+def two_lock_dequeue() -> Method:
+    return Method(
+        "deq",
+        params=[],
+        locals_={"h": None, "n": None, "v": None},
+        body=[
+            Lock("HeadLock").at("Q8"),
+            ReadGlobal("h", "Head").at("Q9"),
+            ReadField("n", "h", "next").at("Q10"),
+            If(lambda L: L["n"] is None, [
+                Unlock("HeadLock").at("Q11"),
+                Return(EMPTY).at("Q12"),
+            ]),
+            ReadField("v", "n", "val").at("Q13"),
+            WriteGlobal("Head", "n").at("Q14"),
+            Unlock("HeadLock").at("Q15"),
+            Return("v").at("Q16"),
+        ],
+    )
+
+
+def build_two_lock_queue(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(["val", "next"])
+    sentinel = heap.alloc(val=0, next=None)
+    return ObjectProgram(
+        "ms-two-lock-queue",
+        methods=[two_lock_enqueue(), two_lock_dequeue()],
+        globals_={
+            "Head": sentinel, "Tail": sentinel,
+            "HeadLock": False, "TailLock": False,
+        },
+        node_fields=["val", "next"],
+        initial_heap=heap.heap(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Coarse-grained list-based set
+# ----------------------------------------------------------------------
+
+def _coarse_traverse() -> List:
+    return [
+        ReadGlobal("pred", "Head").at("C2"),
+        ReadField("curr", "pred", "next").at("C3"),
+        ReadField("ckey", "curr", "key").at("C4"),
+        While(lambda L: L["ckey"] < L["k"], [
+            LocalAssign(pred="curr"),
+            ReadField("curr", "pred", "next").at("C5"),
+            ReadField("ckey", "curr", "key").at("C6"),
+        ]),
+    ]
+
+
+_COARSE_LOCALS = {"pred": None, "curr": None, "ckey": None, "node": None, "nxt": None}
+
+
+def coarse_add() -> Method:
+    return Method(
+        "add", params=["k"], locals_=dict(_COARSE_LOCALS),
+        body=[
+            Lock("L").at("C1"),
+            *_coarse_traverse(),
+            If(lambda L: L["ckey"] == L["k"], [
+                Unlock("L").at("C7"),
+                Return(False).at("C8"),
+            ]),
+            Alloc("node", key="k", next="curr").at("C9"),
+            WriteField("pred", "next", "node").at("C10"),
+            Unlock("L").at("C11"),
+            Return(True).at("C12"),
+        ],
+    )
+
+
+def coarse_remove() -> Method:
+    return Method(
+        "remove", params=["k"], locals_=dict(_COARSE_LOCALS),
+        body=[
+            Lock("L").at("C1"),
+            *_coarse_traverse(),
+            If(lambda L: L["ckey"] != L["k"], [
+                Unlock("L").at("C7"),
+                Return(False).at("C8"),
+            ]),
+            ReadField("nxt", "curr", "next").at("C9"),
+            WriteField("pred", "next", "nxt").at("C10"),
+            Unlock("L").at("C11"),
+            Return(True).at("C12"),
+        ],
+    )
+
+
+def coarse_contains() -> Method:
+    return Method(
+        "contains", params=["k"], locals_=dict(_COARSE_LOCALS),
+        body=[
+            Lock("L").at("C1"),
+            *_coarse_traverse(),
+            Unlock("L").at("C7"),
+            Return(lambda L: L["ckey"] == L["k"]).at("C8"),
+        ],
+    )
+
+
+def build_coarse_list(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(["key", "next"])
+    tail = heap.alloc(key=KEY_MAX, next=None)
+    head = heap.alloc(key=KEY_MIN, next=tail)
+    return ObjectProgram(
+        "coarse-list",
+        methods=[coarse_add(), coarse_remove(), coarse_contains()],
+        globals_={"Head": head, "L": False},
+        node_fields=["key", "next"],
+        initial_heap=heap.heap(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Tagged Treiber stack (version counter defeats ABA under manual free)
+# ----------------------------------------------------------------------
+
+def tagged_push() -> Method:
+    return Method(
+        "push",
+        params=["v"],
+        locals_={"node": None, "w": None, "b": False},
+        body=[
+            Alloc("node", val="v", next=None).at("G1"),
+            While(True, [
+                ReadGlobal("w", "Top").at("G3"),          # (ptr, tag)
+                WriteField("node", "next", lambda L: L["w"][0]).at("G4"),
+                CasGlobal(
+                    "b", "Top", "w",
+                    lambda L: (L["node"], L["w"][1] + 1),
+                ).at("G5"),
+                If("b", [Return(None).at("G6")]),
+            ]).at("G2"),
+        ],
+    )
+
+
+def tagged_pop() -> Method:
+    return Method(
+        "pop",
+        params=[],
+        locals_={"w": None, "t": None, "n": None, "v": None, "b": False},
+        body=[
+            While(True, [
+                ReadGlobal("w", "Top").at("G8"),
+                LocalAssign(t=lambda L: L["w"][0]),
+                If(lambda L: L["t"] is None, [Return(EMPTY).at("G9")]),
+                ReadField("n", "t", "next").at("G10"),
+                ReadField("v", "t", "val").at("G11"),
+                CasGlobal(
+                    "b", "Top", "w",
+                    lambda L: (L["n"], L["w"][1] + 1),
+                ).at("G12"),
+                If("b", [
+                    Free("t").at("G13"),      # manual reclamation, tag-safe
+                    Return("v").at("G14"),
+                ]),
+            ]).at("G7"),
+        ],
+    )
+
+
+def build_tagged_treiber(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(["val", "next"])
+    return ObjectProgram(
+        "tagged-treiber",
+        methods=[tagged_push(), tagged_pop()],
+        globals_={"Top": (None, 0)},
+        node_fields=["val", "next"],
+        initial_heap=heap.heap(),
+    )
+
+
+#: Extra benchmarks, same record type as the Table II registry.
+EXTRAS: Dict[str, Benchmark] = {
+    "two_lock_queue": Benchmark(
+        key="two_lock_queue",
+        title="E1. MS two-lock queue [25]",
+        build=build_two_lock_queue,
+        spec=queue_spec,
+        workload=queue_workload,
+        lock_based=True,
+        expect_lock_free=None,
+    ),
+    "coarse_list": Benchmark(
+        key="coarse_list",
+        title="E2. Coarse-grained list [17]",
+        build=build_coarse_list,
+        spec=set_spec,
+        workload=set_workload,
+        lock_based=True,
+        expect_lock_free=None,
+    ),
+    "tagged_treiber": Benchmark(
+        key="tagged_treiber",
+        title="E3. Tagged Treiber stack (manual free + version tags)",
+        build=build_tagged_treiber,
+        spec=stack_spec,
+        workload=stack_workload,
+    ),
+}

@@ -1,0 +1,128 @@
+"""Fine-grained synchronized list-based set [17] (hand-over-hand locking).
+
+Sorted list with head/tail sentinels and per-node locks.  Every method
+holds at most two locks while traversing: it locks the head, then
+repeatedly locks the next node before releasing the previous one
+("lock coupling"), so the window it finally acts on is always valid --
+no validation or retry loop is needed.  Lock-based -> linearizability
+only (Table II row 14).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang import (
+    Alloc,
+    HeapBuilder,
+    If,
+    LocalAssign,
+    LockField,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    UnlockField,
+    While,
+    WriteField,
+    set_spec,
+)
+from .lazy_list import KEY_MAX, KEY_MIN
+
+NODE_FIELDS = ["key", "next", "lock"]
+
+
+def traverse_stmts() -> List:
+    """Hand-over-hand traversal; ends with ``pred``/``curr`` locked."""
+    return [
+        ReadGlobal("pred", "Head").at("T1"),
+        LockField("pred", "lock").at("T2"),
+        ReadField("curr", "pred", "next").at("T3"),
+        LockField("curr", "lock").at("T4"),
+        ReadField("ckey", "curr", "key").at("T5"),
+        While(lambda L: L["ckey"] < L["k"], [
+            UnlockField("pred", "lock").at("T6"),
+            LocalAssign(pred="curr"),
+            ReadField("curr", "pred", "next").at("T7"),
+            LockField("curr", "lock").at("T8"),
+            ReadField("ckey", "curr", "key").at("T9"),
+        ]),
+    ]
+
+
+def _unlock() -> List:
+    return [
+        UnlockField("curr", "lock").at("U1"),
+        UnlockField("pred", "lock").at("U2"),
+    ]
+
+
+_LOCALS = {"pred": None, "curr": None, "ckey": None, "node": None, "nxt": None}
+
+
+def add_method() -> Method:
+    return Method(
+        "add",
+        params=["k"],
+        locals_=dict(_LOCALS),
+        body=[
+            *traverse_stmts(),
+            If(lambda L: L["ckey"] == L["k"], [
+                *_unlock(),
+                Return(False).at("A2"),
+            ]),
+            Alloc("node", key="k", next="curr", lock=False).at("A3"),
+            WriteField("pred", "next", "node").at("A4"),
+            *_unlock(),
+            Return(True).at("A5"),
+        ],
+    )
+
+
+def remove_method() -> Method:
+    return Method(
+        "remove",
+        params=["k"],
+        locals_=dict(_LOCALS),
+        body=[
+            *traverse_stmts(),
+            If(lambda L: L["ckey"] != L["k"], [
+                *_unlock(),
+                Return(False).at("R2"),
+            ]),
+            ReadField("nxt", "curr", "next").at("R3"),
+            WriteField("pred", "next", "nxt").at("R4"),
+            *_unlock(),
+            Return(True).at("R5"),
+        ],
+    )
+
+
+def contains_method() -> Method:
+    return Method(
+        "contains",
+        params=["k"],
+        locals_=dict(_LOCALS),
+        body=[
+            *traverse_stmts(),
+            *_unlock(),
+            Return(lambda L: L["ckey"] == L["k"]).at("C2"),
+        ],
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    tail = heap.alloc(key=KEY_MAX, next=None, lock=False)
+    head = heap.alloc(key=KEY_MIN, next=tail, lock=False)
+    return ObjectProgram(
+        "fine-list",
+        methods=[add_method(), remove_method(), contains_method()],
+        globals_={"Head": head},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+
+
+spec = set_spec

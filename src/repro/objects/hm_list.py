@@ -1,0 +1,198 @@
+"""Harris-Michael lock-free linked-list set [17].
+
+Sorted singly-linked list with a head sentinel.  The deletion mark
+lives in the ``next`` word of the deleted node, modeled as the tuple
+``(successor_ref, marked)`` so that the mark and the pointer are CASed
+together exactly as in the single-word algorithm.  ``find`` snips
+marked nodes as it traverses and restarts on interference.
+
+Two variants, matching Table II rows 9-1 / 9-2:
+
+* :func:`build` -- the revised (correct) algorithm: ``remove`` only
+  succeeds after *its own* marking CAS succeeds.
+* :func:`build_buggy` -- the first-printing bug (amended in the online
+  errata of [17]): ``remove`` ignores the result of the marking CAS, so
+  two concurrent removes of the same key can both report success.  The
+  trace-refinement check reproduces the known linearizability
+  violation: the same item is removed twice (Section VI.F).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang import (
+    Alloc,
+    Break,
+    CasField,
+    Continue,
+    Goto,
+    HeapBuilder,
+    If,
+    Label,
+    LocalAssign,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    While,
+    set_spec,
+)
+
+NODE_FIELDS = ["key", "next"]
+
+
+def find_stmts(key_local: str = "k") -> List:
+    """Locate ``(prev, cur)`` such that ``cur`` is the first unmarked
+    node with ``cur.key >= k`` (``cur`` may be ``None``); snips marked
+    nodes on the way.  Sets the local ``found``.
+
+    Emits the labels F1..F9 once; callers wrap this in their own retry
+    loop, jumping back to ``try_again`` on interference.
+    """
+    return [
+        Label("try_again"),
+        ReadGlobal("prev", "Head").at("F1"),
+        ReadField("w", "prev", "next").at("F2"),
+        LocalAssign(cur=lambda L: L["w"][0]),
+        While(True, [
+            If(lambda L: L["cur"] is None, [
+                LocalAssign(found=False),
+                Break(),
+            ]),
+            ReadField("w", "cur", "next").at("F3"),
+            LocalAssign(nxt=lambda L: L["w"][0], cmark=lambda L: L["w"][1]),
+            ReadField("ckey", "cur", "key").at("F4"),
+            ReadField("pw", "prev", "next").at("F5"),
+            If(lambda L: L["pw"] != (L["cur"], False), [Goto("try_again")]),
+            If(lambda L: not L["cmark"], [
+                If(lambda L, key=key_local: L["ckey"] >= L[key], [
+                    LocalAssign(found=lambda L, key=key_local: L["ckey"] == L[key]),
+                    Break(),
+                ]),
+                LocalAssign(prev="cur", cur="nxt"),
+            ], [
+                CasField(
+                    "b", "prev", "next",
+                    lambda L: (L["cur"], False),
+                    lambda L: (L["nxt"], False),
+                ).at("F8"),
+                If(lambda L: not L["b"], [Goto("try_again")]),
+                LocalAssign(cur="nxt"),
+            ]),
+        ]).at("F6"),
+    ]
+
+
+_COMMON_LOCALS = {
+    "prev": None, "cur": None, "nxt": None, "w": None, "pw": None,
+    "ckey": None, "cmark": False, "found": False, "b": False, "node": None,
+}
+
+
+def add_method() -> Method:
+    return Method(
+        "add",
+        params=["k"],
+        locals_=dict(_COMMON_LOCALS),
+        body=[
+            While(True, [
+                *find_stmts("k"),
+                If("found", [Return(False).at("A3")]),
+                Alloc("node", key="k", next=lambda L: (L["cur"], False)).at("A4"),
+                CasField(
+                    "b", "prev", "next",
+                    lambda L: (L["cur"], False),
+                    lambda L: (L["node"], False),
+                ).at("A5"),
+                If("b", [Return(True).at("A6")]),
+            ]).at("A1"),
+        ],
+    )
+
+
+def _remove_body(buggy: bool) -> List:
+    mark = CasField(
+        "b", "cur", "next",
+        lambda L: (L["nxt"], False),
+        lambda L: (L["nxt"], True),
+    ).at("R4")
+    snip = CasField(
+        None, "prev", "next",
+        lambda L: (L["cur"], False),
+        lambda L: (L["nxt"], False),
+    ).at("R6")
+    if buggy:
+        # BUG: success is reported regardless of whether *our* marking
+        # CAS won, so a racing remove also reports success.
+        act: List = [mark, snip, Return(True).at("R7")]
+    else:
+        act = [
+            mark,
+            If(lambda L: not L["b"], [Continue()]),
+            snip,
+            Return(True).at("R7"),
+        ]
+    return [
+        While(True, [
+            *find_stmts("k"),
+            If(lambda L: not L["found"], [Return(False).at("R2")]),
+            ReadField("w", "cur", "next").at("R3"),
+            LocalAssign(nxt=lambda L: L["w"][0]),
+            *act,
+        ]).at("R1"),
+    ]
+
+
+def remove_method(buggy: bool = False) -> Method:
+    return Method("remove", params=["k"], locals_=dict(_COMMON_LOCALS),
+                  body=_remove_body(buggy))
+
+
+def contains_method() -> Method:
+    """Wait-free traversal (Michael's contains)."""
+    return Method(
+        "contains",
+        params=["k"],
+        locals_={"cur": None, "w": None, "ckey": None, "cmark": False},
+        body=[
+            ReadGlobal("cur", "Head").at("C1"),
+            ReadField("w", "cur", "next").at("C2"),
+            LocalAssign(cur=lambda L: L["w"][0]),
+            While(lambda L: L["cur"] is not None, [
+                ReadField("ckey", "cur", "key").at("C3"),
+                If(lambda L: L["ckey"] >= L["k"], [Break()]),
+                ReadField("w", "cur", "next").at("C4"),
+                LocalAssign(cur=lambda L: L["w"][0]),
+            ]),
+            If(lambda L: L["cur"] is None, [Return(False).at("C5")]),
+            ReadField("w", "cur", "next").at("C6"),
+            Return(lambda L: L["ckey"] == L["k"] and not L["w"][1]).at("C7"),
+        ],
+    )
+
+
+def _build(name: str, buggy: bool) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    head = heap.alloc(key=-1, next=(None, False))
+    return ObjectProgram(
+        name,
+        methods=[add_method(), remove_method(buggy), contains_method()],
+        globals_={"Head": head},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    """The revised (correct) HM lock-free list."""
+    return _build("hm-list", buggy=False)
+
+
+def build_buggy(num_threads: int) -> ObjectProgram:
+    """The first-printing HM list with the known remove bug."""
+    return _build("hm-list-buggy", buggy=True)
+
+
+spec = set_spec

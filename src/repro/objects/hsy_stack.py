@@ -1,0 +1,129 @@
+"""HSY elimination-backoff stack [37] (Hendler, Shavit, Yerushalmi).
+
+A Treiber stack core plus an elimination layer: when a push and a pop
+collide under contention they exchange directly, never touching
+``Top``.  A pusher publishes an offer ``('P', v, tid)`` in the
+exchanger; a popper claims it by CAS to ``('C', v, tid)`` and returns
+``v``; the pusher then observes the claim and finishes.  An unclaimed
+offer is withdrawn by CAS after one bounded check, so no thread ever
+waits -- the object stays lock-free.
+
+Model simplification (documented in DESIGN.md): the collision array of
+[37] is reduced to a single exchanger slot.  The elimination protocol
+-- offer / claim / withdraw and its linearization behaviour (a
+claimed exchange linearizes the push immediately before the pop) -- is
+preserved; the array only adds parallelism among distinct collisions.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    Alloc,
+    CasGlobal,
+    Continue,
+    EMPTY,
+    HeapBuilder,
+    If,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    While,
+    WriteField,
+    WriteGlobal,
+)
+from .treiber import NODE_FIELDS
+
+
+def _is_offer(value) -> bool:
+    return isinstance(value, tuple) and len(value) == 3 and value[0] == "P"
+
+
+def push_method() -> Method:
+    return Method(
+        "push",
+        params=["v"],
+        locals_={"node": None, "t": None, "b": False, "s": None, "wb": False},
+        body=[
+            Alloc("node", val="v", next=None).at("S1"),
+            While(True, [
+                # Treiber attempt.
+                ReadGlobal("t", "Top").at("S3"),
+                WriteField("node", "next", "t").at("S4"),
+                CasGlobal("b", "Top", "t", "node").at("S5"),
+                If("b", [Return(None).at("S6")]),
+                # Contention: try to eliminate against a concurrent pop.
+                CasGlobal(
+                    "b", "Slot", None,
+                    lambda L: ("P", L["v"], L["_tid"]),
+                ).at("S7"),
+                If("b", [
+                    ReadGlobal("s", "Slot").at("S8"),
+                    If(lambda L: L["s"] == ("C", L["v"], L["_tid"]), [
+                        WriteGlobal("Slot", None).at("S9"),
+                        Return(None).at("S10"),
+                    ]),
+                    CasGlobal(
+                        "wb", "Slot",
+                        lambda L: ("P", L["v"], L["_tid"]), None,
+                    ).at("S11"),
+                    If(lambda L: not L["wb"], [
+                        # Claimed between the check and the withdrawal.
+                        WriteGlobal("Slot", None).at("S12"),
+                        Return(None).at("S13"),
+                    ]),
+                ]),
+            ]).at("S2"),
+        ],
+    )
+
+
+def pop_method() -> Method:
+    return Method(
+        "pop",
+        params=[],
+        locals_={"t": None, "n": None, "v": None, "b": False, "s": None, "cb": False},
+        body=[
+            While(True, [
+                ReadGlobal("t", "Top").at("P2"),
+                If(lambda L: L["t"] is None, [
+                    # Empty: eliminate against a pending push, or report EMPTY.
+                    ReadGlobal("s", "Slot").at("P4"),
+                    If(lambda L: _is_offer(L["s"]), [
+                        CasGlobal(
+                            "cb", "Slot", "s",
+                            lambda L: ("C",) + L["s"][1:],
+                        ).at("P5"),
+                        If("cb", [Return(lambda L: L["s"][1]).at("P6")]),
+                        Continue(),
+                    ]),
+                    Return(EMPTY).at("P7"),
+                ]),
+                ReadField("n", "t", "next").at("P9"),
+                ReadField("v", "t", "val").at("P10"),
+                CasGlobal("b", "Top", "t", "n").at("P11"),
+                If("b", [Return("v").at("P12")]),
+                # Contention: try to eliminate.
+                ReadGlobal("s", "Slot").at("P13"),
+                If(lambda L: _is_offer(L["s"]), [
+                    CasGlobal(
+                        "cb", "Slot", "s",
+                        lambda L: ("C",) + L["s"][1:],
+                    ).at("P14"),
+                    If("cb", [Return(lambda L: L["s"][1]).at("P15")]),
+                ]),
+            ]).at("P1"),
+        ],
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    return ObjectProgram(
+        "hsy-stack",
+        methods=[push_method(), pop_method()],
+        globals_={"Top": None, "Slot": None},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )

@@ -1,0 +1,79 @@
+"""Herlihy-Wing queue [18] (the original linearizability paper's queue).
+
+Array-based: ``enq`` reserves a slot with an atomic fetch-and-increment
+of ``back`` and then stores the item; ``deq`` repeatedly scans the
+array, atomically swapping each slot with null until it finds an item.
+
+``deq`` never terminates on an empty queue, so the object is
+linearizable but **not lock-free** (Table II row 10; the divergence
+diagnostic of Fig. 9 comes from this scan loop).  The slot array is
+modeled as pre-allocated nodes referenced from an array global, sized
+for the client's maximum number of enqueues.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    FetchAddGlobal,
+    HeapBuilder,
+    If,
+    LocalAssign,
+    Method,
+    ObjectProgram,
+    ReadGlobal,
+    Return,
+    SwapField,
+    While,
+    WriteField,
+)
+
+NODE_FIELDS = ["val"]
+
+
+def enqueue_method() -> Method:
+    """``i := back++; items[i] := x`` -- two separate atomic steps."""
+    return Method(
+        "enq",
+        params=["v"],
+        locals_={"i": None, "slot": None, "items": None},
+        body=[
+            FetchAddGlobal("i", "back", 1).at("E1"),
+            ReadGlobal("items", "items").at("E2"),
+            WriteField(lambda L: L["items"][L["i"]], "val", "v").at("E2"),
+            Return(None).at("E3"),
+        ],
+    )
+
+
+def dequeue_method() -> Method:
+    """Scan ``0..back-1`` swapping slots with null; retry forever."""
+    return Method(
+        "deq",
+        params=[],
+        locals_={"range_": None, "i": None, "x": None, "items": None},
+        body=[
+            ReadGlobal("items", "items").at("D1"),
+            While(True, [
+                ReadGlobal("range_", "back").at("D2"),
+                LocalAssign(i=0).at("D3"),
+                While(lambda L: L["i"] < L["range_"], [
+                    SwapField("x", lambda L: L["items"][L["i"]], "val", None).at("D5"),
+                    If(lambda L: L["x"] is not None, [Return("x").at("D6")]),
+                    LocalAssign(i=lambda L: L["i"] + 1).at("D7"),
+                ]).at("D4"),
+            ]).at("D8"),
+        ],
+    )
+
+
+def build(num_threads: int, max_enqueues: int = 8) -> ObjectProgram:
+    """Build the HW queue with an array sized for ``max_enqueues``."""
+    heap = HeapBuilder(NODE_FIELDS)
+    slots = tuple(heap.alloc(val=None) for _ in range(max_enqueues))
+    return ObjectProgram(
+        "hw-queue",
+        methods=[enqueue_method(), dequeue_method()],
+        globals_={"back": 0, "items": slots},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )

@@ -1,0 +1,181 @@
+"""Heller et al. lazy concurrent list-based set [16].
+
+Sorted list with head/tail sentinels; nodes carry a ``marked`` flag and
+a per-node lock.  ``add``/``remove`` traverse optimistically, lock the
+window, and validate ``!pred.marked && !curr.marked && pred.next ==
+curr``; ``remove`` first marks logically (its linearization point) and
+then unlinks.  ``contains`` is wait-free and unsynchronized -- the
+textbook example of a *non-fixed* linearization point (Table II row 12
+carries the non-fixed-LP check mark).
+
+Lock-based, so only linearizability is verified (Table II bottom).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang import (
+    Alloc,
+    HeapBuilder,
+    If,
+    LocalAssign,
+    LockField,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    UnlockField,
+    While,
+    set_spec,
+)
+
+NODE_FIELDS = ["key", "next", "marked", "lock"]
+
+#: Sentinel keys (client keys must lie strictly between them).
+KEY_MIN = -1
+KEY_MAX = 99
+
+
+def locate_stmts() -> List:
+    """Optimistic traversal: ``pred``/``curr`` bracket the key."""
+    return [
+        ReadGlobal("pred", "Head").at("T1"),
+        ReadField("curr", "pred", "next").at("T2"),
+        ReadField("ckey", "curr", "key").at("T3"),
+        While(lambda L: L["ckey"] < L["k"], [
+            LocalAssign(pred="curr"),
+            ReadField("curr", "pred", "next").at("T4"),
+            ReadField("ckey", "curr", "key").at("T5"),
+        ]),
+    ]
+
+
+def validate_stmts() -> List:
+    """Heller validation under locks; sets local ``valid``."""
+    return [
+        ReadField("pm", "pred", "marked").at("V1"),
+        ReadField("cm", "curr", "marked").at("V2"),
+        ReadField("pn", "pred", "next").at("V3"),
+        LocalAssign(
+            valid=lambda L: (not L["pm"]) and (not L["cm"]) and L["pn"] == L["curr"]
+        ),
+    ]
+
+
+def _unlock() -> List:
+    return [
+        UnlockField("curr", "lock").at("U1"),
+        UnlockField("pred", "lock").at("U2"),
+    ]
+
+
+_LOCALS = {
+    "pred": None, "curr": None, "ckey": None, "pm": False, "cm": False,
+    "pn": None, "valid": False, "node": None, "nxt": None, "r": False,
+}
+
+
+def add_method() -> Method:
+    return Method(
+        "add",
+        params=["k"],
+        locals_=dict(_LOCALS),
+        body=[
+            While(True, [
+                *locate_stmts(),
+                LockField("pred", "lock").at("A1"),
+                LockField("curr", "lock").at("A2"),
+                *validate_stmts(),
+                If("valid", [
+                    If(lambda L: L["ckey"] == L["k"], [
+                        *_unlock(),
+                        Return(False).at("A4"),
+                    ], [
+                        Alloc("node", key="k", next="curr",
+                              marked=False, lock=False).at("A5"),
+                        # Link the new node (LP for successful add):
+                        *_write_link(),
+                    ]),
+                ], _unlock()),
+            ]).at("A0"),
+        ],
+    )
+
+
+def _write_link() -> List:
+    from ..lang import WriteField
+
+    return [
+        WriteField("pred", "next", "node").at("A6"),
+        UnlockField("curr", "lock").at("U1"),
+        UnlockField("pred", "lock").at("U2"),
+        Return(True).at("A7"),
+    ]
+
+
+def remove_method() -> Method:
+    from ..lang import WriteField
+
+    return Method(
+        "remove",
+        params=["k"],
+        locals_=dict(_LOCALS),
+        body=[
+            While(True, [
+                *locate_stmts(),
+                LockField("pred", "lock").at("R1"),
+                LockField("curr", "lock").at("R2"),
+                *validate_stmts(),
+                If("valid", [
+                    If(lambda L: L["ckey"] != L["k"], [
+                        *_unlock(),
+                        Return(False).at("R4"),
+                    ], [
+                        # Logical removal -- the linearization point.
+                        WriteField("curr", "marked", True).at("R5"),
+                        ReadField("nxt", "curr", "next").at("R6"),
+                        WriteField("pred", "next", "nxt").at("R7"),
+                        *_unlock(),
+                        Return(True).at("R8"),
+                    ]),
+                ], _unlock()),
+            ]).at("R0"),
+        ],
+    )
+
+
+def contains_method() -> Method:
+    """Wait-free, unsynchronized traversal (non-fixed LP)."""
+    return Method(
+        "contains",
+        params=["k"],
+        locals_={"curr": None, "ckey": None, "cm": False},
+        body=[
+            ReadGlobal("curr", "Head").at("C1"),
+            ReadField("ckey", "curr", "key").at("C2"),
+            While(lambda L: L["ckey"] < L["k"], [
+                ReadField("curr", "curr", "next").at("C3"),
+                ReadField("ckey", "curr", "key").at("C4"),
+            ]),
+            ReadField("cm", "curr", "marked").at("C5"),
+            Return(lambda L: L["ckey"] == L["k"] and not L["cm"]).at("C6"),
+        ],
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    tail = heap.alloc(key=KEY_MAX, next=None, marked=False, lock=False)
+    head = heap.alloc(key=KEY_MIN, next=tail, marked=False, lock=False)
+    return ObjectProgram(
+        "lazy-list",
+        methods=[add_method(), remove_method(), contains_method()],
+        globals_={"Head": head},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+
+
+spec = set_spec

@@ -1,0 +1,100 @@
+"""Michael-Scott lock-free queue [25] (Fig. 5 of the paper).
+
+The queue is a linked list with a sentinel; ``Head`` points at the
+sentinel, ``Tail`` at the last or penultimate node.  Line labels follow
+Fig. 5 so that the quotient's essential internal steps can be compared
+with the paper's analysis (the linearization points are the successful
+CAS at L8 (enqueue), the successful CAS at L28 (dequeue), and the
+non-fixed empty-queue LP at the L20 read of ``Head.next`` validated by
+the L21 re-read of ``Head``).
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    Alloc,
+    Break,
+    CasField,
+    CasGlobal,
+    EMPTY,
+    HeapBuilder,
+    If,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    While,
+)
+
+NODE_FIELDS = ["val", "next"]
+
+
+def enqueue_method() -> Method:
+    """Fig. 5 lines 1-15: allocate, link at tail with CAS, swing tail."""
+    return Method(
+        "enq",
+        params=["v"],
+        locals_={"node": None, "t": None, "n": None, "t2": None, "b": False},
+        body=[
+            Alloc("node", val="v", next=None).at("L2"),
+            While(True, [
+                ReadGlobal("t", "Tail").at("L4"),
+                ReadField("n", "t", "next").at("L5"),
+                ReadGlobal("t2", "Tail").at("L6"),
+                If(lambda L: L["t"] == L["t2"], [
+                    If(lambda L: L["n"] is None, [
+                        CasField("b", "t", "next", None, "node").at("L8"),
+                        If("b", [Break()]),
+                    ], [
+                        CasGlobal(None, "Tail", "t", "n").at("L10"),
+                    ]),
+                ]),
+            ]).at("L3"),
+            CasGlobal(None, "Tail", "t", "node").at("L15"),
+            Return(None).at("L15"),
+        ],
+    )
+
+
+def dequeue_method() -> Method:
+    """Fig. 5 lines 16-31: read head/tail/next, validate, CAS head."""
+    return Method(
+        "deq",
+        params=[],
+        locals_={"h": None, "t": None, "n": None, "h2": None, "v": None, "b": False},
+        body=[
+            While(True, [
+                ReadGlobal("h", "Head").at("L18"),
+                ReadGlobal("t", "Tail").at("L19"),
+                ReadField("n", "h", "next").at("L20"),
+                ReadGlobal("h2", "Head").at("L21"),
+                If(lambda L: L["h"] == L["h2"], [
+                    If(lambda L: L["h"] == L["t"], [
+                        If(lambda L: L["n"] is None, [
+                            Return(EMPTY).at("L23"),
+                        ], [
+                            CasGlobal(None, "Tail", "t", "n").at("L24"),
+                        ]),
+                    ], [
+                        ReadField("v", "n", "val").at("L26"),
+                        CasGlobal("b", "Head", "h", "n").at("L28"),
+                        If("b", [Return("v").at("L29")]),
+                    ]),
+                ]),
+            ]).at("L17"),
+        ],
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    """The MS queue model (thread count does not change its layout)."""
+    heap = HeapBuilder(NODE_FIELDS)
+    sentinel = heap.alloc(val=0, next=None)
+    return ObjectProgram(
+        "ms-queue",
+        methods=[enqueue_method(), dequeue_method()],
+        globals_={"Head": sentinel, "Tail": sentinel},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )

@@ -1,0 +1,48 @@
+"""NewCompareAndSet register (Figs. 3/4 of the paper).
+
+A register whose single method ``newcas(exp, new)`` returns the
+register's *prior* value, writing ``new`` only when the prior value
+equals ``exp``.  The concrete implementation (Fig. 4) retries a CAS in
+a loop; the abstract implementation (Fig. 3) is the one-atomic-block
+specification produced by ``repro.lang.spec.register_spec``.
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    CasGlobal,
+    If,
+    Method,
+    ObjectProgram,
+    ReadGlobal,
+    Return,
+    While,
+)
+
+
+def newcas_method() -> Method:
+    """Fig. 4: read, fail fast on mismatch, otherwise CAS and retry."""
+    return Method(
+        "newcas",
+        params=["exp", "new"],
+        locals_={"prior": None, "b": False},
+        body=[
+            While(lambda L: L["b"] is False, [
+                ReadGlobal("prior", "R").at("N4"),
+                If(lambda L: L["prior"] != L["exp"], [
+                    Return("prior").at("N5"),
+                ], [
+                    CasGlobal("b", "R", "exp", "new").at("N6"),
+                ]),
+            ]).at("N3"),
+            Return("exp").at("N8"),
+        ],
+    )
+
+
+def build(num_threads: int, initial: int = 0) -> ObjectProgram:
+    return ObjectProgram(
+        "newcas",
+        methods=[newcas_method()],
+        globals_={"R": initial},
+    )

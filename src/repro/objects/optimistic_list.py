@@ -1,0 +1,170 @@
+"""Optimistic list-based set [17] (Herlihy & Shavit, Chapter 9.6).
+
+Sorted list with head/tail sentinels and per-node locks.  All methods
+traverse without locks, lock the ``pred``/``curr`` window, and validate
+by *re-traversing from the head*: the window is valid iff ``pred`` is
+still reachable and ``pred.next == curr``.  Requires garbage-collected
+memory (a removed node may still be traversed), which is exactly what
+the model's canonical-GC heap provides.  Lock-based -> linearizability
+only (Table II row 13).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang import (
+    Alloc,
+    Break,
+    HeapBuilder,
+    If,
+    LocalAssign,
+    LockField,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    UnlockField,
+    While,
+    WriteField,
+    set_spec,
+)
+from .lazy_list import KEY_MAX, KEY_MIN
+
+NODE_FIELDS = ["key", "next", "lock"]
+
+
+def locate_stmts() -> List:
+    return [
+        ReadGlobal("pred", "Head").at("T1"),
+        ReadField("curr", "pred", "next").at("T2"),
+        ReadField("ckey", "curr", "key").at("T3"),
+        While(lambda L: L["ckey"] < L["k"], [
+            LocalAssign(pred="curr"),
+            ReadField("curr", "pred", "next").at("T4"),
+            ReadField("ckey", "curr", "key").at("T5"),
+        ]),
+    ]
+
+
+def validate_stmts() -> List:
+    """Re-traverse from the head; sets the local ``valid``."""
+    return [
+        ReadField("pkey", "pred", "key").at("V1"),
+        ReadGlobal("node_", "Head").at("V2"),
+        ReadField("nkey", "node_", "key").at("V3"),
+        While(lambda L: L["nkey"] < L["pkey"], [
+            ReadField("node_", "node_", "next").at("V4"),
+            ReadField("nkey", "node_", "key").at("V5"),
+        ]),
+        If(lambda L: L["node_"] == L["pred"], [
+            ReadField("pn", "pred", "next").at("V6"),
+            LocalAssign(valid=lambda L: L["pn"] == L["curr"]),
+        ], [
+            LocalAssign(valid=False),
+        ]),
+    ]
+
+
+def _unlock() -> List:
+    return [
+        UnlockField("curr", "lock").at("U1"),
+        UnlockField("pred", "lock").at("U2"),
+    ]
+
+
+_LOCALS = {
+    "pred": None, "curr": None, "ckey": None, "pkey": None, "node_": None,
+    "nkey": None, "pn": None, "valid": False, "node": None, "nxt": None,
+}
+
+
+def add_method() -> Method:
+    return Method(
+        "add",
+        params=["k"],
+        locals_=dict(_LOCALS),
+        body=[
+            While(True, [
+                *locate_stmts(),
+                LockField("pred", "lock").at("A1"),
+                LockField("curr", "lock").at("A2"),
+                *validate_stmts(),
+                If("valid", [
+                    If(lambda L: L["ckey"] == L["k"], [
+                        *_unlock(),
+                        Return(False).at("A4"),
+                    ], [
+                        Alloc("node", key="k", next="curr", lock=False).at("A5"),
+                        WriteField("pred", "next", "node").at("A6"),
+                        *_unlock(),
+                        Return(True).at("A7"),
+                    ]),
+                ], _unlock()),
+            ]).at("A0"),
+        ],
+    )
+
+
+def remove_method() -> Method:
+    return Method(
+        "remove",
+        params=["k"],
+        locals_=dict(_LOCALS),
+        body=[
+            While(True, [
+                *locate_stmts(),
+                LockField("pred", "lock").at("R1"),
+                LockField("curr", "lock").at("R2"),
+                *validate_stmts(),
+                If("valid", [
+                    If(lambda L: L["ckey"] != L["k"], [
+                        *_unlock(),
+                        Return(False).at("R4"),
+                    ], [
+                        ReadField("nxt", "curr", "next").at("R5"),
+                        WriteField("pred", "next", "nxt").at("R6"),
+                        *_unlock(),
+                        Return(True).at("R7"),
+                    ]),
+                ], _unlock()),
+            ]).at("R0"),
+        ],
+    )
+
+
+def contains_method() -> Method:
+    return Method(
+        "contains",
+        params=["k"],
+        locals_=dict(_LOCALS),
+        body=[
+            While(True, [
+                *locate_stmts(),
+                LockField("pred", "lock").at("C1"),
+                LockField("curr", "lock").at("C2"),
+                *validate_stmts(),
+                If("valid", [
+                    *_unlock(),
+                    Return(lambda L: L["ckey"] == L["k"]).at("C4"),
+                ], _unlock()),
+            ]).at("C0"),
+        ],
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    tail = heap.alloc(key=KEY_MAX, next=None, lock=False)
+    head = heap.alloc(key=KEY_MIN, next=tail, lock=False)
+    return ObjectProgram(
+        "optimistic-list",
+        methods=[add_method(), remove_method(), contains_method()],
+        globals_={"Head": head},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+
+
+spec = set_spec

@@ -1,0 +1,120 @@
+"""RDCSS: restricted double-compare single-swap [15] (Harris et al.).
+
+``rdcss(o1, o2, n2)`` over a control cell ``A`` and a data cell ``B``:
+atomically, if ``A == o1`` and ``B == o2`` then ``B := n2``; always
+returns the prior (logical) value of ``B``.  The implementation
+installs a descriptor into ``B`` with CAS; any reader of ``B`` that
+finds a descriptor helps complete it.  ``complete`` reads ``A`` and
+CASes ``B`` from the descriptor to ``n2`` or back to ``o2`` -- the
+read of ``A`` is what makes the linearization point non-fixed.
+
+Methods: ``rdcss(o1, o2, n2)`` and ``seta(v)`` (writes the control cell).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from ..lang import (
+    Alloc,
+    CasGlobal,
+    Continue,
+    HeapBuilder,
+    If,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    SpecObject,
+    While,
+    WriteGlobal,
+    is_ref,
+)
+
+NODE_FIELDS = ["o1", "o2", "n2"]
+
+
+def _complete_stmts(desc_local: str, prefix: str) -> List:
+    """Finish the pending RDCSS held in descriptor ``desc_local``."""
+    return [
+        ReadField(f"{prefix}o1", desc_local, "o1").at("R10"),
+        ReadField(f"{prefix}o2", desc_local, "o2").at("R11"),
+        ReadField(f"{prefix}n2", desc_local, "n2").at("R12"),
+        ReadGlobal(f"{prefix}a", "A").at("R13"),
+        If(
+            lambda L, p=prefix: L[f"{p}a"] == L[f"{p}o1"],
+            [CasGlobal(None, "B", desc_local, f"{prefix}n2").at("R14")],
+            [CasGlobal(None, "B", desc_local, f"{prefix}o2").at("R15")],
+        ),
+    ]
+
+
+def rdcss_method() -> Method:
+    return Method(
+        "rdcss",
+        params=["o1", "o2", "n2"],
+        locals_={
+            "d": None, "old": None, "b": False,
+            "ho1": None, "ho2": None, "hn2": None, "ha": None,
+            "mo1": None, "mo2": None, "mn2": None, "ma": None,
+        },
+        body=[
+            Alloc("d", o1="o1", o2="o2", n2="n2").at("R1"),
+            While(True, [
+                ReadGlobal("old", "B").at("R3"),
+                If(lambda L: is_ref(L["old"]), [
+                    *_complete_stmts("old", "h"),
+                    Continue(),
+                ]),
+                If(lambda L: L["old"] != L["o2"], [Return("old").at("R6")]),
+                CasGlobal("b", "B", "o2", "d").at("R7"),
+                If("b", [
+                    *_complete_stmts("d", "m"),
+                    Return("o2").at("R9"),
+                ]),
+            ]).at("R2"),
+        ],
+    )
+
+
+def seta_method() -> Method:
+    return Method(
+        "seta",
+        params=["v"],
+        body=[
+            WriteGlobal("A", "v").at("A1"),
+            Return(None).at("A2"),
+        ],
+    )
+
+
+def build(num_threads: int, initial_a: int = 0, initial_b: int = 0) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    return ObjectProgram(
+        "rdcss",
+        methods=[rdcss_method(), seta_method()],
+        globals_={"A": initial_a, "B": initial_b},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+
+
+def spec(initial_a: int = 0, initial_b: int = 0) -> SpecObject:
+    """Atomic RDCSS specification over ``(A, B)``."""
+
+    def rdcss(state: Tuple[Any, Any], args: Tuple[Any, ...]):
+        a, b = state
+        o1, o2, n2 = args
+        if b == o2 and a == o1:
+            return [((a, n2), b)]
+        return [(state, b)]
+
+    def seta(state: Tuple[Any, Any], args: Tuple[Any, ...]):
+        return [((args[0], state[1]), None)]
+
+    return SpecObject(
+        name="rdcss-spec",
+        initial=(initial_a, initial_b),
+        methods={"rdcss": rdcss, "seta": seta},
+    )

@@ -1,0 +1,114 @@
+"""Treiber stack [28]: the classic lock-free stack.
+
+``push`` links a new node at ``Top`` with CAS; ``pop`` CASes ``Top``
+to the next node.  Nodes are never freed (garbage-collected memory, as
+in the paper's java.util.concurrent setting), so there is no ABA issue
+and both linearizability and lock-freedom hold (Table II row 1).
+"""
+
+from __future__ import annotations
+
+from ..lang import (
+    Alloc,
+    CasGlobal,
+    EMPTY,
+    Free,
+    HeapBuilder,
+    If,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    While,
+    WriteField,
+)
+
+NODE_FIELDS = ["val", "next"]
+
+
+def push_method() -> Method:
+    return Method(
+        "push",
+        params=["v"],
+        locals_={"node": None, "t": None, "b": False},
+        body=[
+            Alloc("node", val="v", next=None).at("T1"),
+            While(True, [
+                ReadGlobal("t", "Top").at("T3"),
+                WriteField("node", "next", "t").at("T4"),
+                CasGlobal("b", "Top", "t", "node").at("T5"),
+                If("b", [Return(None).at("T6")]),
+            ]).at("T2"),
+        ],
+    )
+
+
+def pop_method() -> Method:
+    return Method(
+        "pop",
+        params=[],
+        locals_={"t": None, "n": None, "v": None, "b": False},
+        body=[
+            While(True, [
+                ReadGlobal("t", "Top").at("T8"),
+                If(lambda L: L["t"] is None, [Return(EMPTY).at("T9")]),
+                ReadField("n", "t", "next").at("T10"),
+                ReadField("v", "t", "val").at("T11"),
+                CasGlobal("b", "Top", "t", "n").at("T12"),
+                If("b", [Return("v").at("T13")]),
+            ]).at("T7"),
+        ],
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    return ObjectProgram(
+        "treiber-stack",
+        methods=[push_method(), pop_method()],
+        globals_={"Top": None},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+
+
+def pop_method_with_free() -> Method:
+    """Pop with manual reclamation and **no** hazard pointers.
+
+    Frees the popped node immediately, so a concurrent pop holding a
+    stale snapshot can CAS against a recycled node -- the classic ABA
+    bug that hazard pointers (rows 2-3 of Table II) exist to prevent.
+    The checker finds the linearizability violation automatically (a
+    value is popped twice); see ``tests/objects/test_aba.py``.
+    """
+    return Method(
+        "pop",
+        params=[],
+        locals_={"t": None, "n": None, "v": None, "b": False},
+        body=[
+            While(True, [
+                ReadGlobal("t", "Top").at("T8"),
+                If(lambda L: L["t"] is None, [Return(EMPTY).at("T9")]),
+                ReadField("n", "t", "next").at("T10"),
+                ReadField("v", "t", "val").at("T11"),
+                CasGlobal("b", "Top", "t", "n").at("T12"),
+                If("b", [
+                    Free("t").at("T13"),
+                    Return("v").at("T14"),
+                ]),
+            ]).at("T7"),
+        ],
+    )
+
+
+def build_manual_reclamation(num_threads: int) -> ObjectProgram:
+    """Treiber stack with free-after-pop (ABA-unsafe; didactic variant)."""
+    heap = HeapBuilder(NODE_FIELDS)
+    return ObjectProgram(
+        "treiber-free",
+        methods=[push_method(), pop_method_with_free()],
+        globals_={"Top": None},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )

@@ -1,0 +1,141 @@
+"""Treiber stack with hazard pointers.
+
+Two variants, matching Table II rows 2 and 3:
+
+* :func:`build` -- Michael's original hazard pointers [24]: ``pop``
+  publishes a hazard pointer, validates ``Top``, and after a successful
+  pop performs a *wait-free bounded scan* of the other threads' hazard
+  slots, freeing the node only if nobody protects it (otherwise the
+  node is leaked to the garbage collector).  Linearizable + lock-free.
+
+* :func:`build_buggy` -- the revised version from Fu et al. [10]: the
+  reclamation *waits* until no hazard pointer references the popped
+  node (``while HP[j] == t: re-read``).  This removes the wait-freedom
+  of the scan: one thread can spin forever re-reading another thread's
+  unchanging hazard slot -- the **new lock-freedom bug** the paper's
+  divergence-sensitive check finds with just two threads (Section VI.F).
+
+Explicit ``free`` makes freed-but-referenced nodes reallocatable, so
+ABA scenarios are live in these models (see ``repro.lang.ops.Alloc``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lang import (
+    Break,
+    CasGlobal,
+    Continue,
+    EMPTY,
+    Free,
+    HeapBuilder,
+    If,
+    LocalAssign,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    While,
+    WriteGlobal,
+)
+from .treiber import NODE_FIELDS, push_method
+
+
+def _pop_prologue() -> List:
+    """Shared prefix of both pops: protect, validate, try the CAS."""
+    return [
+        ReadGlobal("t", "Top").at("H2"),
+        If(lambda L: L["t"] is None, [Return(EMPTY).at("H3")]),
+        WriteGlobal("HP", "t", index="_tid").at("H4"),
+        ReadGlobal("t2", "Top").at("H5"),
+        If(lambda L: L["t"] != L["t2"], [Continue()]),
+        ReadField("n", "t", "next").at("H7"),
+        ReadField("v", "t", "val").at("H8"),
+        CasGlobal("b", "Top", "t", "n").at("H9"),
+    ]
+
+
+def pop_method(num_threads: int) -> Method:
+    """Michael's pop: wait-free scan, free only unprotected nodes."""
+    return Method(
+        "pop",
+        params=[],
+        locals_={
+            "t": None, "t2": None, "n": None, "v": None,
+            "b": False, "j": 0, "hj": None, "protected": False,
+        },
+        body=[
+            While(True, _pop_prologue() + [
+                If("b", [
+                    WriteGlobal("HP", None, index="_tid").at("H10"),
+                    LocalAssign(j=0, protected=False).at("H11"),
+                    While(lambda L: L["j"] < num_threads, [
+                        If(lambda L: L["j"] != L["_tid"], [
+                            ReadGlobal("hj", "HP", index="j").at("H12"),
+                            If(lambda L: L["hj"] == L["t"], [
+                                LocalAssign(protected=True),
+                            ]),
+                        ]),
+                        LocalAssign(j=lambda L: L["j"] + 1),
+                    ]),
+                    If(lambda L: not L["protected"], [Free("t").at("H13")]),
+                    Return("v").at("H14"),
+                ]),
+            ]).at("H1"),
+        ],
+    )
+
+
+def pop_method_buggy(num_threads: int) -> Method:
+    """Fu et al.'s pop: reclamation spins until hazards clear (the bug)."""
+    return Method(
+        "pop",
+        params=[],
+        locals_={
+            "t": None, "t2": None, "n": None, "v": None,
+            "b": False, "j": 0, "hj": None,
+        },
+        body=[
+            While(True, _pop_prologue() + [
+                If("b", [
+                    WriteGlobal("HP", None, index="_tid").at("H10"),
+                    LocalAssign(j=0).at("H11"),
+                    While(lambda L: L["j"] < num_threads, [
+                        If(lambda L: L["j"] != L["_tid"], [
+                            # BUG: blocking wait on another thread's slot.
+                            While(True, [
+                                ReadGlobal("hj", "HP", index="j").at("B12"),
+                                If(lambda L: L["hj"] != L["t"], [Break()]),
+                            ]).at("B11"),
+                        ]),
+                        LocalAssign(j=lambda L: L["j"] + 1),
+                    ]),
+                    Free("t").at("B13"),
+                    Return("v").at("B14"),
+                ]),
+            ]).at("H1"),
+        ],
+    )
+
+
+def _build(name: str, num_threads: int, pop: Method) -> ObjectProgram:
+    heap = HeapBuilder(NODE_FIELDS)
+    return ObjectProgram(
+        name,
+        methods=[push_method(), pop],
+        globals_={"Top": None, "HP": tuple(None for _ in range(num_threads))},
+        node_fields=NODE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+
+
+def build(num_threads: int) -> ObjectProgram:
+    """Treiber stack + hazard pointers, Michael's original [24]."""
+    return _build("treiber-hp", num_threads, pop_method(num_threads))
+
+
+def build_buggy(num_threads: int) -> ObjectProgram:
+    """Treiber stack + hazard pointers, revised version of [10] (buggy)."""
+    return _build("treiber-hp-fu", num_threads, pop_method_buggy(num_threads))

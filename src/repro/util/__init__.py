@@ -1,0 +1,5 @@
+"""Small utilities shared by benches and examples."""
+
+from .tables import check, render_table
+
+__all__ = ["check", "render_table"]

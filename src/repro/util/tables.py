@@ -1,0 +1,39 @@
+"""ASCII table rendering for benchmark output.
+
+The benches print paper-style tables (Tables I-VII) to stdout; this
+module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a monospace table with a header rule."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, text in enumerate(row):
+            widths[index] = max(widths[index], len(text))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(text.ljust(width) for text, width in zip(row, widths))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(fmt(row))
+    return "\n".join(lines)
+
+
+def check(value: bool) -> str:
+    """Render a Table II style verdict mark."""
+    return "yes" if value else "NO"

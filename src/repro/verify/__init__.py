@@ -1,0 +1,35 @@
+"""Verification pipelines: the two methods of Fig. 1.
+
+* :func:`check_linearizability` -- Theorem 5.3 (quotient + refinement)
+* :func:`check_lock_freedom_auto` -- Theorem 5.9 (object vs quotient,
+  divergence-sensitive)
+* :func:`check_lock_freedom_abstract` -- Theorem 5.8 (object vs
+  abstract program, divergence-sensitive)
+"""
+
+from .linearizability import LinearizabilityResult, check_linearizability
+from .lockfree import (
+    AbstractLockFreedomResult,
+    LockFreedomResult,
+    check_lock_freedom_abstract,
+    check_lock_freedom_auto,
+)
+from .obstruction import (
+    ObstructionFreedomResult,
+    check_obstruction_freedom,
+    solo_tau_cycle_states,
+    transition_thread,
+)
+
+__all__ = [
+    "LinearizabilityResult",
+    "check_linearizability",
+    "AbstractLockFreedomResult",
+    "LockFreedomResult",
+    "check_lock_freedom_abstract",
+    "check_lock_freedom_auto",
+    "ObstructionFreedomResult",
+    "check_obstruction_freedom",
+    "solo_tau_cycle_states",
+    "transition_thread",
+]

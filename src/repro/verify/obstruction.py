@@ -1,0 +1,183 @@
+"""Obstruction-freedom checking (a progress-property extension).
+
+The paper's framework covers "all progress properties expressible in
+the next-free fragment of CTL*"; alongside lock-freedom (Theorems
+5.8/5.9) the other standard non-blocking guarantees are wait-freedom
+(which coincides with lock-freedom under the bounded most-general
+client, see ``repro.ltl.progress``) and **obstruction-freedom**: every
+operation completes in a bounded number of steps *when run in
+isolation*.
+
+For a bounded object system a violation is a silent cycle all of whose
+steps belong to one thread -- the thread spins even with every other
+thread paused.  Thread ownership of internal steps is recovered from
+the transition annotations (``"t<k>.<line>"``), which every shared-
+memory instruction of the benchmark models carries.
+
+Examples: the HW queue's dequeue spins on an empty queue entirely on
+its own (not even obstruction-free), while the Treiber stack's retry
+loops need interference to keep failing (obstruction-free -- and its
+CAS loops make it lock-free too).  The revised Treiber+HP stack's
+hazard-pointer wait is also a solo spin: the scanning thread re-reads
+an unchanging slot forever.
+
+Only meaningful for non-blocking models: the DSL's locks use
+blocking-enabledness semantics, so a lock-based object never has solo
+cycles (a blocked thread simply has no moves).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from collections import deque
+
+from ..core.divergence import Lasso, Step, _shortest_path
+from ..core.graphs import tarjan_scc
+from ..core.lts import LTS, TAU_ID
+from ..lang import ClientConfig, ObjectProgram, explore
+from ..lang.client import Workload
+
+
+def transition_thread(lts: LTS, aid: int, annotation) -> Optional[int]:
+    """The 1-based thread id owning a transition, if recoverable."""
+    if aid != TAU_ID:
+        label = lts.action_labels[aid]
+        if isinstance(label, tuple) and len(label) > 1 and isinstance(label[1], int):
+            return label[1]
+        return None
+    if isinstance(annotation, str) and annotation.startswith("t"):
+        head = annotation.split(".", 1)[0]
+        try:
+            return int(head[1:])
+        except ValueError:
+            return None
+    return None
+
+
+def solo_tau_cycle_states(lts: LTS, tid: int) -> List[int]:
+    """States on a silent cycle consisting solely of thread ``tid`` steps."""
+    n = lts.num_states
+    succ: List[List[int]] = [[] for _ in range(n)]
+    self_loop = [False] * n
+    for src, aid, dst, ann in lts.transitions_with_annotations():
+        if aid == TAU_ID and transition_thread(lts, aid, ann) == tid:
+            succ[src].append(dst)
+            if src == dst:
+                self_loop[src] = True
+    comp_of, num_comps = tarjan_scc(n, lambda s: succ[s])
+    size = [0] * num_comps
+    for state in range(n):
+        size[comp_of[state]] += 1
+    return [
+        state for state in range(n)
+        if size[comp_of[state]] > 1 or self_loop[state]
+    ]
+
+
+def _solo_cycle_from(lts: LTS, state: int, tid: int) -> List[Step]:
+    """A silent cycle through ``state`` using only thread ``tid`` steps."""
+    adj: List[List] = [[] for _ in range(lts.num_states)]
+    for src, aid, dst, ann in lts.transitions_with_annotations():
+        if aid == TAU_ID and transition_thread(lts, aid, ann) == tid:
+            adj[src].append((dst, ann))
+    for dst, ann in adj[state]:
+        if dst == state:
+            return [Step(state, ("tau",), state, ann)]
+    parent: dict = {}
+    queue = deque()
+    for dst, ann in adj[state]:
+        if dst not in parent:
+            parent[dst] = (state, ann)
+            queue.append(dst)
+    found = False
+    while queue and not found:
+        cur = queue.popleft()
+        for dst, ann in adj[cur]:
+            if dst == state:
+                parent[state] = (cur, ann)
+                found = True
+                break
+            if dst not in parent:
+                parent[dst] = (cur, ann)
+                queue.append(dst)
+    steps: List[Step] = []
+    cur = state
+    while True:
+        prev, ann = parent[cur]
+        steps.append(Step(prev, ("tau",), cur, ann))
+        cur = prev
+        if cur == state:
+            break
+    steps.reverse()
+    return steps
+
+
+@dataclass
+class ObstructionFreedomResult:
+    """Outcome of an obstruction-freedom check."""
+
+    object_name: str
+    obstruction_free: bool
+    impl_states: int
+    num_threads: int
+    ops_per_thread: object
+    #: Thread whose solo spin violates the property (1-based), if any.
+    spinning_thread: Optional[int]
+    diagnostic: Optional[Lasso]
+    seconds: float
+
+    def render_diagnostic(self) -> str:
+        if self.diagnostic is None:
+            return "<obstruction-free: no solo divergence>"
+        return (
+            f"thread t{self.spinning_thread} spins in isolation:\n"
+            + self.diagnostic.render()
+        )
+
+
+def check_obstruction_freedom(
+    program: ObjectProgram,
+    num_threads: int = 2,
+    ops_per_thread: int = 2,
+    workload: Optional[Workload] = None,
+    max_states: Optional[int] = None,
+) -> ObstructionFreedomResult:
+    """Check obstruction-freedom of a (non-blocking) object program."""
+    if workload is None:
+        raise ValueError("a workload (method/argument universe) is required")
+    config = ClientConfig(
+        num_threads=num_threads,
+        ops_per_thread=ops_per_thread,
+        workload=workload,
+        max_states=max_states,
+    )
+    start = time.perf_counter()
+    impl = explore(program, config)
+    spinning_thread: Optional[int] = None
+    diagnostic: Optional[Lasso] = None
+    for tid in range(1, num_threads + 1):
+        on_cycle = set(solo_tau_cycle_states(impl, tid))
+        if not on_cycle:
+            continue
+        stem = _shortest_path(impl, [impl.init], on_cycle)
+        if stem is None:
+            continue  # unreachable solo cycle
+        spinning_thread = tid
+        entry = stem[-1].dst if stem else impl.init
+        if entry not in on_cycle:
+            entry = impl.init
+        diagnostic = Lasso(stem=stem, cycle=_solo_cycle_from(impl, entry, tid))
+        break
+    return ObstructionFreedomResult(
+        object_name=program.name,
+        obstruction_free=spinning_thread is None,
+        impl_states=impl.num_states,
+        num_threads=num_threads,
+        ops_per_thread=ops_per_thread,
+        spinning_thread=spinning_thread,
+        diagnostic=diagnostic,
+        seconds=time.perf_counter() - start,
+    )

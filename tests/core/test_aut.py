@@ -1,0 +1,91 @@
+"""Aldebaran (.aut) format round-trip tests."""
+
+import pytest
+
+from repro.core import TAU, make_lts
+from repro.core.aut import (
+    dumps_aut,
+    loads_aut,
+    parse_label,
+    read_aut,
+    render_label,
+    write_aut,
+)
+
+
+def test_render_tau():
+    assert render_label(TAU) == "i"
+
+
+def test_render_structured_label():
+    assert render_label(("call", 1, "enq", (5,))) == "CALL !1 !enq !(5,)"
+    assert render_label(("ret", 2, "deq", "EMPTY")) == "RET !2 !deq !EMPTY"
+
+
+def test_parse_label_round_trip():
+    for label in (
+        TAU,
+        ("call", 1, "enq", (5,)),
+        ("ret", 2, "deq", None),
+        ("call", 3, "newcas", (0, 1)),
+        "plain",
+    ):
+        assert parse_label(render_label(label)) == label
+
+
+def test_parse_tau_variants():
+    for text in ("i", "tau", '"tau"'):
+        assert parse_label(text) == TAU
+
+
+def test_dump_format():
+    lts = make_lts(3, 0, [(0, "tau", 1), (1, ("call", 1, "m", ()), 2)])
+    text = dumps_aut(lts)
+    lines = text.splitlines()
+    assert lines[0] == "des (0, 2, 3)"
+    assert '(0, "i", 1)' in lines
+    assert '(1, "CALL !1 !m !()", 2)' in lines
+
+
+def test_round_trip_preserves_structure():
+    lts = make_lts(4, 2, [
+        (2, "tau", 0), (0, ("call", 1, "push", (1,)), 1),
+        (1, ("ret", 1, "push", None), 3), (3, "tau", 3),
+    ])
+    back = loads_aut(dumps_aut(lts))
+    assert back.num_states == lts.num_states
+    assert back.num_transitions == lts.num_transitions
+    assert back.init == lts.init
+    original = {(s, lts.action_labels[a], d) for s, a, d in lts.transitions()}
+    restored = {(s, back.action_labels[a], d) for s, a, d in back.transitions()}
+    assert original == restored
+
+
+def test_round_trip_is_bisimilar_on_object_system():
+    from repro.core import compare_branching
+    from repro.lang import ClientConfig, explore
+    from repro.objects import get
+
+    bench = get("newcas")
+    lts = explore(bench.build(2), ClientConfig(2, 1, bench.default_workload()))
+    back = loads_aut(dumps_aut(lts))
+    assert compare_branching(lts, back, divergence=True).equivalent
+
+
+def test_file_round_trip(tmp_path):
+    lts = make_lts(2, 0, [(0, "a", 1)])
+    path = str(tmp_path / "system.aut")
+    write_aut(lts, path)
+    back = read_aut(path)
+    assert back.num_states == 2
+
+
+def test_errors():
+    with pytest.raises(ValueError):
+        loads_aut("")
+    with pytest.raises(ValueError):
+        loads_aut("not a header")
+    with pytest.raises(ValueError):
+        loads_aut('des (0, 1, 2)\ngarbage')
+    with pytest.raises(ValueError):
+        loads_aut('des (0, 5, 2)\n(0, "a", 1)')  # count mismatch

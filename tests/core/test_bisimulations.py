@@ -1,0 +1,172 @@
+"""Branching / weak / strong bisimulation unit tests.
+
+Includes the textbook separating examples and the divergence-sensitive
+behaviour the paper's lock-freedom checking relies on (Section V.B).
+"""
+
+from repro.core import (
+    branching_partition,
+    compare_branching,
+    compare_strong,
+    compare_weak,
+    is_refinement,
+    make_lts,
+    num_blocks,
+    strong_partition,
+    weak_partition,
+)
+
+
+def lts_tau_a():
+    """tau.a"""
+    return make_lts(3, 0, [(0, "tau", 1), (1, "a", 2)])
+
+
+def lts_a():
+    """a"""
+    return make_lts(2, 0, [(0, "a", 1)])
+
+
+def test_tau_prefix_invisible_for_weak_and_branching():
+    assert compare_branching(lts_tau_a(), lts_a()).equivalent
+    assert compare_weak(lts_tau_a(), lts_a()).equivalent
+    assert not compare_strong(lts_tau_a(), lts_a()).equivalent
+
+
+def test_tau_law_branching():
+    # a.tau ~ a (trailing tau is inert)
+    left = make_lts(3, 0, [(0, "a", 1), (1, "tau", 2)])
+    assert compare_branching(left, lts_a()).equivalent
+
+
+def test_branching_tau_law():
+    # The axiom of branching bisimulation (van Glabbeek & Weijland):
+    #   a.(tau.(b + c) + b)  =  a.(b + c)
+    left = make_lts(6, 0, [
+        (0, "a", 1), (1, "tau", 2), (2, "b", 3), (2, "c", 4), (1, "b", 5),
+    ])
+    right = make_lts(4, 0, [(0, "a", 1), (1, "b", 2), (1, "c", 3)])
+    assert compare_branching(left, right).equivalent
+    assert compare_weak(left, right).equivalent
+
+
+def test_weak_tau_law_fails_for_branching():
+    # a.(b + tau.c) + a.c = a.(b + tau.c) is valid for weak bisimulation
+    # only: the extra a.c summand cannot be matched branchingly.
+    left = make_lts(5, 0, [(0, "a", 1), (1, "b", 2), (1, "tau", 3), (3, "c", 4)])
+    right = make_lts(7, 0, [
+        (0, "a", 1), (1, "b", 2), (1, "tau", 3), (3, "c", 4),
+        (0, "a", 5), (5, "c", 6),
+    ])
+    assert compare_weak(left, right).equivalent
+    assert not compare_branching(left, right).equivalent
+
+
+def test_weak_but_not_branching():
+    # c.(a + tau.b)  vs  c.(a + tau.b) + c.b  -- the classic pair that
+    # separates weak from branching bisimilarity (van Glabbeek & Weijland).
+    left = make_lts(5, 0, [(0, "c", 1), (1, "a", 2), (1, "tau", 3), (3, "b", 4)])
+    right = make_lts(7, 0, [
+        (0, "c", 1), (1, "a", 2), (1, "tau", 3), (3, "b", 4),
+        (0, "c", 5), (5, "b", 6),
+    ])
+    assert compare_weak(left, right).equivalent
+    assert not compare_branching(left, right).equivalent
+
+
+def test_branching_requires_intermediate_state_match():
+    # s -tau-> s' where the intermediate changes options must be detected.
+    # a + tau.b: initial state is NOT equivalent to the post-tau state.
+    lts = make_lts(4, 0, [(0, "a", 1), (0, "tau", 2), (2, "b", 3)])
+    blocks = branching_partition(lts)
+    assert blocks[0] != blocks[2]
+
+
+def test_inert_tau_collapses():
+    # tau between equivalent states is inert: tau.a and its post-tau state.
+    lts = lts_tau_a()
+    blocks = branching_partition(lts)
+    assert blocks[0] == blocks[1]
+    assert blocks[0] != blocks[2]
+
+
+def test_divergence_sensitive_distinguishes_self_loop():
+    quiet = make_lts(1, 0, [])
+    spinning = make_lts(1, 0, [(0, "tau", 0)])
+    assert compare_branching(quiet, spinning).equivalent
+    assert not compare_branching(quiet, spinning, divergence=True).equivalent
+    assert compare_weak(quiet, spinning).equivalent
+    assert not compare_weak(quiet, spinning, divergence=True).equivalent
+
+
+def test_divergence_sensitive_distinguishes_tau_cycle():
+    # A 2-state tau cycle with an 'a' exit vs a single tau.a: both can do
+    # 'a' after taus, but only the cycle can spin forever.
+    cycle = make_lts(3, 0, [(0, "tau", 1), (1, "tau", 0), (0, "a", 2)])
+    straight = make_lts(3, 0, [(0, "tau", 1), (1, "a", 2), (0, "a", 2)])
+    assert not compare_branching(cycle, straight, divergence=True).equivalent
+
+
+def test_tau_cycle_states_always_related_lemma_5_6():
+    # Even when the cycle states enable different visible actions, a
+    # tau-cycle forces equivalence of all its states (Lemma 5.6): each
+    # state can silently reach the other's capabilities and back.
+    cyclic = make_lts(4, 0, [
+        (0, "tau", 1), (1, "tau", 0), (0, "a", 2), (1, "b", 3),
+    ])
+    blocks = branching_partition(cyclic)
+    assert blocks[0] == blocks[1]
+
+
+def test_divergence_is_relative_to_the_partition():
+    # Definition 5.4: a state is divergent iff an infinite path stays
+    # inside its equivalence class.  State 0 below reaches a tau-cycle,
+    # but only through the non-equivalent state 1 (which cannot do 'a'),
+    # so 0 itself is NOT divergent: it differs (div-sensitively) from a
+    # twin that spins at the top.
+    no_spin_at_top = make_lts(3, 0, [(0, "tau", 1), (1, "tau", 1), (0, "a", 2)])
+    spin_at_top = make_lts(3, 0, [
+        (0, "tau", 0), (0, "tau", 1), (1, "tau", 1), (0, "a", 2),
+    ])
+    assert compare_branching(no_spin_at_top, spin_at_top).equivalent
+    assert not compare_branching(
+        no_spin_at_top, spin_at_top, divergence=True
+    ).equivalent
+
+
+def test_strong_refines_branching_refines_weak():
+    lts = make_lts(8, 0, [
+        (0, "tau", 1), (1, "a", 2), (0, "a", 3), (3, "tau", 4),
+        (4, "b", 5), (3, "b", 6), (2, "tau", 2), (6, "a", 7),
+    ])
+    strong = strong_partition(lts)
+    branching = branching_partition(lts)
+    weak = weak_partition(lts)
+    assert is_refinement(strong, branching)
+    assert is_refinement(branching, weak)
+
+
+def test_initial_partition_respected_by_branching():
+    lts = make_lts(2, 0, [])
+    # Two deadlocked states are bisimilar, unless pre-separated.
+    assert num_blocks(branching_partition(lts)) == 1
+    assert num_blocks(branching_partition(lts, initial=[0, 1])) == 2
+
+
+def test_comparison_reports_mapping():
+    a = lts_a()
+    b = lts_a()
+    comparison = compare_branching(a, b)
+    assert comparison.equivalent
+    assert comparison.init_a == 0
+    assert comparison.init_b == a.num_states + b.init
+    assert comparison.union.num_states == a.num_states + b.num_states
+
+
+def test_branching_on_tau_cycle_lemma_5_6():
+    # Lemma 5.6: all states on a tau-cycle are branching bisimilar.
+    lts = make_lts(4, 0, [
+        (0, "tau", 1), (1, "tau", 2), (2, "tau", 0), (2, "a", 3),
+    ])
+    blocks = branching_partition(lts)
+    assert blocks[0] == blocks[1] == blocks[2]

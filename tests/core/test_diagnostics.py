@@ -1,0 +1,80 @@
+"""Distinguishing-experiment diagnostics for bisimulation failures."""
+
+from repro.core import (
+    compare_branching,
+    explain_inequivalence,
+    make_lts,
+)
+from repro.core.branching import DIVERGENCE_MARK
+from repro.core.diagnostics import explain_states
+from repro.core.lts import disjoint_union
+
+
+def test_bisimilar_systems_have_no_explanation():
+    a = make_lts(2, 0, [(0, "x", 1)])
+    b = make_lts(3, 0, [(0, "tau", 1), (1, "x", 2)])
+    assert explain_inequivalence(a, b) is None
+
+
+def test_visible_action_difference():
+    a = make_lts(2, 0, [(0, "x", 1)])
+    b = make_lts(2, 0, [(0, "y", 1)])
+    explanation = explain_inequivalence(a, b)
+    assert explanation is not None
+    assert len(explanation.levels) == 1
+    level = explanation.levels[0]
+    assert level.action in ("x", "y")
+    assert level.opponent_targets == []
+    assert "no matching move" in level.render(explanation.union)
+
+
+def test_nested_difference_recurses():
+    # a.x vs a.y: both can do 'a', difference one level deeper.
+    left = make_lts(3, 0, [(0, "a", 1), (1, "x", 2)])
+    right = make_lts(3, 0, [(0, "a", 1), (1, "y", 2)])
+    explanation = explain_inequivalence(left, right)
+    actions = [level.action for level in explanation.levels]
+    assert "a" in actions
+    assert "x" in actions or "y" in actions
+    assert len(explanation.levels) >= 2
+
+
+def test_branching_specific_difference():
+    # The classic weak-but-not-branching pair: the explanation must
+    # surface the 'c' move whose target classes cannot be matched.
+    left = make_lts(5, 0, [(0, "c", 1), (1, "a", 2), (1, "tau", 3), (3, "b", 4)])
+    right = make_lts(7, 0, [
+        (0, "c", 1), (1, "a", 2), (1, "tau", 3), (3, "b", 4),
+        (0, "c", 5), (5, "b", 6),
+    ])
+    assert not compare_branching(left, right).equivalent
+    explanation = explain_inequivalence(left, right)
+    assert explanation is not None
+    assert explanation.levels[0].action == "c"
+    text = explanation.render()
+    assert "distinguishing experiment" in text
+
+
+def test_divergence_difference():
+    quiet = make_lts(1, 0, [])
+    spinning = make_lts(1, 0, [(0, "tau", 0)])
+    explanation = explain_inequivalence(quiet, spinning, divergence=True)
+    assert explanation is not None
+    assert explanation.levels[-1].action == DIVERGENCE_MARK
+    assert "<divergence>" in explanation.render()
+
+
+def test_inert_path_before_distinguishing_move():
+    # Left must take an inert tau before the distinguishing 'x'.
+    left = make_lts(4, 0, [(0, "tau", 1), (1, "x", 2), (1, "y", 3)])
+    right = make_lts(3, 0, [(0, "x", 1), (0, "x", 2)])
+    explanation = explain_inequivalence(left, right)
+    assert explanation is not None
+
+
+def test_explain_states_within_one_lts():
+    lts = make_lts(4, 0, [(0, "a", 1), (2, "b", 3)])
+    explanation = explain_states(lts, 0, 2)
+    assert explanation is not None
+    assert explanation.levels[0].action in ("a", "b")
+    assert explain_states(lts, 1, 3) is None  # both deadlocked

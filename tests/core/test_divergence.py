@@ -1,0 +1,85 @@
+"""Divergence detection and lasso diagnostics (Section V.B, Fig. 9)."""
+
+from repro.core import (
+    divergent_states,
+    find_divergence_lasso,
+    make_lts,
+    tau_cycle_states,
+)
+
+
+def test_no_cycles_in_dag():
+    lts = make_lts(3, 0, [(0, "tau", 1), (1, "a", 2)])
+    assert tau_cycle_states(lts) == []
+    assert find_divergence_lasso(lts) is None
+    assert divergent_states(lts) == [False, False, False]
+
+
+def test_self_loop_detected():
+    lts = make_lts(2, 0, [(0, "a", 1), (1, "tau", 1)])
+    assert tau_cycle_states(lts) == [1]
+    assert divergent_states(lts) == [False, True]
+
+
+def test_visible_cycle_is_not_divergence():
+    lts = make_lts(2, 0, [(0, "a", 1), (1, "b", 0)])
+    assert tau_cycle_states(lts) == []
+    assert find_divergence_lasso(lts) is None
+
+
+def test_mixed_cycle_is_not_tau_cycle():
+    # Cycle with one visible action is an infinite execution but not a
+    # divergence (a return happens infinitely often).
+    lts = make_lts(2, 0, [(0, "tau", 1), (1, "a", 0)])
+    assert tau_cycle_states(lts) == []
+
+
+def test_divergent_states_propagate_backwards():
+    lts = make_lts(4, 0, [
+        (0, "tau", 1), (1, "tau", 2), (2, "tau", 2), (0, "a", 3),
+    ])
+    marks = divergent_states(lts)
+    assert marks == [True, True, True, False]
+
+
+def test_lasso_stem_and_cycle():
+    lts = make_lts(4, 0, [
+        (0, ("call", 1, "deq"), 1),
+        (1, "tau", 2),
+        (2, "tau", 3),
+        (3, "tau", 2),
+    ])
+    lasso = find_divergence_lasso(lts)
+    assert lasso is not None
+    stem_labels = [step.label for step in lasso.stem]
+    assert stem_labels[0] == ("call", 1, "deq")
+    assert len(lasso.cycle) == 2
+    for step in lasso.cycle:
+        assert step.label == ("tau",)
+
+
+def test_lasso_with_initial_state_on_cycle():
+    lts = make_lts(2, 0, [(0, "tau", 1), (1, "tau", 0)])
+    lasso = find_divergence_lasso(lts)
+    assert lasso is not None
+    assert lasso.stem == []
+    assert len(lasso.cycle) == 2
+
+
+def test_lasso_annotations_render():
+    from repro.core.lts import LTS, TAU
+
+    lts = LTS()
+    lts.add_transition(0, ("call", 1, "deq"), 1)
+    lts.add_transition(1, TAU, 1, annotation="t1.L13(scan)")
+    lasso = find_divergence_lasso(lts)
+    text = lasso.render()
+    assert "t1.L13(scan)" in text
+    assert "divergence" in text
+
+
+def test_unreachable_cycle_yields_no_lasso():
+    # tau-cycle exists but cannot be reached from the initial state.
+    lts = make_lts(3, 0, [(0, "a", 1), (2, "tau", 2)])
+    assert 2 in tau_cycle_states(lts)
+    assert find_divergence_lasso(lts) is None

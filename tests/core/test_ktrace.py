@@ -1,0 +1,125 @@
+"""k-trace hierarchy tests (Section III, Theorem 4.3)."""
+
+from repro.core import (
+    branching_partition,
+    ktrace_hierarchy,
+    ktrace_refine,
+    make_lts,
+    max_trace_partition,
+    num_blocks,
+    same_partition,
+    tau_witnesses,
+    trace_partition,
+)
+
+
+def test_level_zero_relates_everything():
+    lts = make_lts(3, 0, [(0, "a", 1), (1, "b", 2)])
+    hierarchy = ktrace_hierarchy(lts)
+    assert num_blocks(hierarchy.partitions[0]) == 1
+
+
+def test_level_one_is_trace_equivalence():
+    lts = make_lts(7, 0, [
+        (0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "b", 4), (4, "c", 5),
+        (0, "tau", 6), (6, "a", 1),
+    ])
+    hierarchy = ktrace_hierarchy(lts)
+    assert same_partition(hierarchy.partitions[1], trace_partition(lts))
+
+
+def test_theorem_4_3_fixpoint_is_branching_bisimulation():
+    lts = make_lts(9, 0, [
+        (0, "tau", 1), (0, "tau", 5),
+        (1, "a", 2), (2, "b", 3), (2, "c", 4),
+        (5, "a", 6), (6, "b", 7), (6, "tau", 8),
+    ])
+    assert same_partition(max_trace_partition(lts), branching_partition(lts))
+
+
+def test_cap_detection():
+    # a.(b+c) vs a.b + a.c inside one LTS: the post-'tau' initial states
+    # are 1-trace equivalent but 2-trace inequivalent -> cap >= 2.
+    lts = make_lts(10, 0, [
+        (0, "tau", 1), (0, "tau", 5),
+        (1, "a", 2), (2, "b", 3), (2, "c", 4),
+        (5, "a", 6), (6, "b", 7),
+        (5, "a", 8), (8, "c", 9),
+    ])
+    hierarchy = ktrace_hierarchy(lts)
+    assert hierarchy.cap is not None
+    assert hierarchy.cap >= 2
+    p1 = hierarchy.partitions[1]
+    p2 = hierarchy.partitions[2]
+    assert p1[1] == p1[5]          # same ordinary traces: a.b and a.c both
+    assert p2[1] != p2[5]          # distinguished by branching potentials
+
+
+def test_hierarchy_is_monotone():
+    lts = make_lts(8, 0, [
+        (0, "a", 1), (1, "tau", 2), (2, "b", 3), (1, "b", 4),
+        (0, "tau", 5), (5, "a", 6), (6, "b", 7),
+    ])
+    hierarchy = ktrace_hierarchy(lts)
+    for coarse, fine in zip(hierarchy.partitions, hierarchy.partitions[1:]):
+        from repro.core import is_refinement
+
+        assert is_refinement(fine, coarse)
+        assert num_blocks(fine) >= num_blocks(coarse)
+
+
+def test_equivalent_accessor_clamps_to_fixpoint():
+    lts = make_lts(3, 0, [(0, "a", 1), (1, "b", 2)])
+    hierarchy = ktrace_hierarchy(lts)
+    top = len(hierarchy.partitions) + 5
+    assert hierarchy.equivalent(top, 0, 0)
+    assert hierarchy.equivalent(0, 0, 2)          # level 0 relates all
+    assert not hierarchy.equivalent(top, 0, 2)
+
+
+def test_ktrace_refine_single_step_matches_hierarchy():
+    lts = make_lts(5, 0, [(0, "a", 1), (1, "tau", 2), (2, "b", 3), (3, "a", 4)])
+    hierarchy = ktrace_hierarchy(lts)
+    p1 = ktrace_refine(lts, [0] * lts.num_states)
+    assert same_partition(p1, hierarchy.partitions[1])
+
+
+def test_tau_witnesses_inequiv1():
+    # tau step that changes the trace set: witness for the last column of
+    # Table I.
+    lts = make_lts(3, 0, [(0, "tau", 1), (1, "a", 2), (0, "b", 2)])
+    witnesses = tau_witnesses(lts)
+    assert witnesses.inequiv_1 == (0, 1)
+    assert witnesses.equiv1_not2 is None
+
+
+def test_tau_witnesses_equiv1_not2():
+    # The MS-queue phenomenon in miniature (cf. Fig. 6): a tau step whose
+    # endpoints have equal traces but different branching potentials.
+    # s1 = state 1 (tau to 2, tau to 5), s3 = state 5:
+    #   1: tau.(a+b) + tau.(a.b') ... construct concretely:
+    lts = make_lts(12, 0, [
+        (0, "tau", 1),
+        # from 1: tau to 2 where both a and b possible
+        (1, "tau", 2), (2, "a", 3), (2, "b", 4),
+        # from 1 also tau to 5; from 5: a.b via different branch shapes
+        (1, "tau", 5),
+        (5, "tau", 6), (6, "a", 7),
+        (5, "tau", 8), (8, "b", 9),
+    ])
+    hierarchy = ktrace_hierarchy(lts)
+    p1, p2 = hierarchy.partitions[1], hierarchy.partitions[2]
+    assert p1[1] == p1[5]
+    assert p2[1] != p2[5]
+    witnesses = tau_witnesses(lts, hierarchy)
+    assert witnesses.equiv1_not2 is not None
+    src, dst = witnesses.equiv1_not2
+    assert p1[src] == p1[dst] and p2[src] != p2[dst]
+
+
+def test_deterministic_system_cap_is_small():
+    # For systems without nondeterministic branching over equal traces the
+    # hierarchy collapses quickly: trace equivalence == bisimulation.
+    lts = make_lts(4, 0, [(0, "a", 1), (1, "b", 2), (2, "a", 3)])
+    hierarchy = ktrace_hierarchy(lts)
+    assert hierarchy.cap == 1

@@ -1,0 +1,125 @@
+"""Unit tests for the LTS container (Definition 2.1 infrastructure)."""
+
+import pytest
+
+from repro.core import LTS, LTSBuilder, TAU, TAU_ID, disjoint_union, make_lts, to_dot
+
+
+def test_tau_is_action_zero():
+    lts = LTS()
+    assert lts.action_labels[TAU_ID] is TAU
+    assert lts.action_id(TAU) == TAU_ID
+
+
+def test_action_interning_is_stable():
+    lts = LTS()
+    a = lts.action_id(("call", 1, "push", 5))
+    b = lts.action_id(("call", 1, "push", 5))
+    c = lts.action_id(("call", 2, "push", 5))
+    assert a == b
+    assert a != c
+    assert lts.lookup_action(("call", 1, "push", 5)) == a
+    assert lts.lookup_action(("never", "used")) is None
+
+
+def test_add_transition_grows_state_space():
+    lts = LTS()
+    lts.add_transition(0, "a", 4)
+    assert lts.num_states == 5
+    assert lts.num_transitions == 1
+
+
+def test_add_transition_accepts_interned_id():
+    lts = LTS()
+    aid = lts.action_id("a")
+    lts.add_transition(0, aid, 1)
+    assert [(s, a, d) for s, a, d in lts.transitions()] == [(0, aid, 1)]
+
+
+def test_successors_and_predecessors():
+    lts = make_lts(3, 0, [(0, "a", 1), (0, "tau", 2), (1, "b", 2)])
+    a = lts.lookup_action("a")
+    b = lts.lookup_action("b")
+    assert sorted(lts.successors(0)) == sorted([(a, 1), (TAU_ID, 2)])
+    assert lts.tau_successors(0) == [2]
+    assert lts.visible_successors(0) == [(a, 1)]
+    assert sorted(lts.predecessors(2)) == sorted([(TAU_ID, 0), (b, 1)])
+    assert lts.enabled_actions(0) == frozenset({a, TAU_ID})
+
+
+def test_has_transition():
+    lts = make_lts(2, 0, [(0, "a", 1)])
+    a = lts.lookup_action("a")
+    assert lts.has_transition(0, a, 1)
+    assert not lts.has_transition(1, a, 0)
+
+
+def test_reachable_states_bfs_order():
+    lts = make_lts(4, 0, [(0, "a", 1), (1, "b", 2), (3, "c", 0)])
+    assert lts.reachable_states() == [0, 1, 2]
+
+
+def test_restrict_reachable_drops_unreachable():
+    lts = make_lts(4, 0, [(0, "a", 1), (3, "c", 0)])
+    trimmed = lts.restrict_reachable()
+    assert trimmed.num_states == 2
+    assert trimmed.num_transitions == 1
+    assert trimmed.init == 0
+
+
+def test_relabel_and_copy():
+    lts = make_lts(2, 0, [(0, "a", 1), (0, "tau", 1)])
+    doubled = lts.relabel(lambda label: label if label == TAU else (label, label))
+    assert doubled.lookup_action(("a", "a")) is not None
+    copy = lts.copy()
+    assert copy.num_states == lts.num_states
+    assert copy.num_transitions == lts.num_transitions
+
+
+def test_annotations_survive():
+    lts = LTS()
+    lts.add_transition(0, TAU, 1, annotation="t1.L28")
+    assert list(lts.transitions_with_annotations())[0][3] == "t1.L28"
+    assert lts.annotation(0) == "t1.L28"
+
+
+def test_disjoint_union_offsets():
+    a = make_lts(2, 1, [(1, "x", 0)])
+    b = make_lts(3, 2, [(2, "x", 0), (0, "tau", 1)])
+    union, init_a, init_b = disjoint_union(a, b)
+    assert union.num_states == 5
+    assert init_a == 1
+    assert init_b == 4
+    assert union.init == init_a
+    assert union.num_transitions == 3
+
+
+def test_builder_interns_rich_keys():
+    builder = LTSBuilder()
+    builder.set_init(("heap", (1, 2)))
+    dst, is_new = builder.transition(("heap", (1, 2)), "a", ("heap", (2, 3)))
+    assert is_new
+    dst2, is_new2 = builder.transition(("heap", (1, 2)), "b", ("heap", (2, 3)))
+    assert not is_new2
+    assert dst == dst2
+    assert builder.known(("heap", (1, 2)))
+    assert not builder.known(("heap", ()))
+    assert builder.lts.num_states == 2
+    assert builder.state_keys[builder.lts.init] == ("heap", (1, 2))
+
+
+def test_to_dot_renders_and_caps():
+    lts = make_lts(2, 0, [(0, "a", 1), (0, "tau", 1)])
+    dot = to_dot(lts)
+    assert "digraph" in dot
+    assert "tau" in dot
+    big = LTS()
+    big.add_states(3000)
+    with pytest.raises(ValueError):
+        to_dot(big)
+
+
+def test_empty_lts_reachability():
+    lts = LTS()
+    assert lts.reachable_states() == []
+    assert lts.num_states == 0

@@ -1,0 +1,39 @@
+"""ASCII table rendering tests."""
+
+from repro.util import check, render_table
+
+
+def test_render_basic():
+    text = render_table(["a", "bb"], [[1, 2], [333, 4]])
+    lines = text.splitlines()
+    assert lines[0].startswith("a")
+    assert "-+-" in lines[1]
+    assert "333" in lines[3]  # row order preserved: second data row
+
+
+def test_render_with_title():
+    text = render_table(["x"], [[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_columns_are_aligned():
+    text = render_table(["name", "v"], [["short", 1], ["a-much-longer-name", 22]])
+    rows = text.splitlines()
+    pipes = [line.index("|") for line in (rows[0], rows[2], rows[3])]
+    assert len(set(pipes)) == 1
+
+
+def test_values_coerced_to_str():
+    text = render_table(["a"], [[None], [True], [3.5]])
+    assert "None" in text and "True" in text and "3.5" in text
+
+
+def test_check_marks():
+    assert check(True) == "yes"
+    assert check(False) == "NO"
+
+
+def test_empty_rows():
+    text = render_table(["only", "headers"], [])
+    assert "only" in text
+    assert len(text.splitlines()) == 2

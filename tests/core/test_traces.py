@@ -1,0 +1,127 @@
+"""Trace refinement tests (Definition 2.2) and counterexample validity."""
+
+from repro.core import (
+    make_lts,
+    language_partition,
+    trace_equivalent,
+    trace_partition,
+    trace_refines,
+    state_tau_closures,
+    TAU_ID,
+)
+
+from tests.helpers import bounded_traces, is_trace_of
+
+
+def test_reflexive():
+    lts = make_lts(4, 0, [(0, "a", 1), (1, "tau", 2), (2, "b", 3)])
+    assert trace_refines(lts, lts).holds
+
+
+def test_simple_inclusion_and_counterexample():
+    impl = make_lts(3, 0, [(0, "a", 1), (1, "b", 2)])
+    spec = make_lts(4, 0, [(0, "a", 1), (1, "b", 2), (1, "c", 3)])
+    assert trace_refines(impl, spec).holds
+    result = trace_refines(spec, impl)
+    assert not result.holds
+    assert result.counterexample == ["a", "c"]
+
+
+def test_tau_steps_do_not_appear_in_traces():
+    impl = make_lts(4, 0, [(0, "tau", 1), (1, "a", 2), (2, "tau", 3)])
+    spec = make_lts(2, 0, [(0, "a", 1)])
+    assert trace_refines(impl, spec).holds
+    assert trace_refines(spec, impl).holds
+    assert trace_equivalent(impl, spec)
+
+
+def test_spec_tau_closure_used():
+    # Spec needs two taus before it can do 'a'.
+    impl = make_lts(2, 0, [(0, "a", 1)])
+    spec = make_lts(4, 0, [(0, "tau", 1), (1, "tau", 2), (2, "a", 3)])
+    assert trace_refines(impl, spec).holds
+
+
+def test_unknown_action_is_immediate_violation():
+    impl = make_lts(2, 0, [(0, "z", 1)])
+    spec = make_lts(2, 0, [(0, "a", 1)])
+    result = trace_refines(impl, spec)
+    assert not result.holds
+    assert result.counterexample == ["z"]
+
+
+def test_nondeterministic_spec_tracked_as_subset():
+    # spec: a.b + a.c ; impl: a.(b+c) -- trace inclusion holds both ways
+    # even though they are not bisimilar.
+    impl = make_lts(4, 0, [(0, "a", 1), (1, "b", 2), (1, "c", 3)])
+    spec = make_lts(6, 0, [
+        (0, "a", 1), (1, "b", 2),
+        (0, "a", 3), (3, "c", 4),
+    ])
+    assert trace_refines(impl, spec).holds
+    assert trace_refines(spec, impl).holds
+
+
+def test_counterexample_is_real_trace_of_impl_not_spec():
+    impl = make_lts(5, 0, [
+        (0, "a", 1), (1, "tau", 2), (2, "b", 3), (3, "c", 4),
+    ])
+    spec = make_lts(4, 0, [(0, "a", 1), (1, "b", 2), (2, "d", 3)])
+    result = trace_refines(impl, spec)
+    assert not result.holds
+    assert is_trace_of(impl, result.counterexample)
+    assert not is_trace_of(spec, result.counterexample)
+
+
+def test_cyclic_systems_terminate():
+    impl = make_lts(2, 0, [(0, "a", 1), (1, "b", 0)])
+    spec = make_lts(1, 0, [(0, "a", 0), (0, "b", 0)])
+    assert trace_refines(impl, spec).holds
+    assert not trace_refines(spec, impl).holds
+
+
+def test_render_counterexample():
+    impl = make_lts(2, 0, [(0, "a", 1)])
+    spec = make_lts(1, 0, [])
+    result = trace_refines(impl, spec)
+    text = result.render_counterexample()
+    assert "a" in text and "initial state" in text
+    assert "no counterexample" in trace_refines(spec, impl).render_counterexample()
+
+
+def test_state_tau_closures():
+    lts = make_lts(4, 0, [(0, "tau", 1), (1, "tau", 2), (2, "a", 3)])
+    closures = state_tau_closures(lts)
+    assert closures[0] == frozenset({0, 1, 2})
+    assert closures[3] == frozenset({3})
+
+
+def test_trace_partition_matches_bounded_enumeration():
+    lts = make_lts(7, 0, [
+        (0, "a", 1), (0, "a", 2), (1, "b", 3), (2, "b", 4),
+        (4, "c", 5), (0, "tau", 6), (6, "a", 1),
+    ])
+    blocks = trace_partition(lts)
+    # States 3 and 5 are both deadlocked: same (empty) traces.
+    assert blocks[3] == blocks[5]
+    # 1 (can do b) vs 2 (can do b.c) differ.
+    assert blocks[1] != blocks[2]
+    # Brute-force cross-check on all pairs with bounded traces.
+    for s in range(7):
+        for r in range(7):
+            same = bounded_traces(lts, s, 5) == bounded_traces(lts, r, 5)
+            assert same == (blocks[s] == blocks[r]), (s, r)
+
+
+def test_language_partition_epsilon_compression():
+    # Symbols chosen so the 'a' transition is invisible: states 0 and 1
+    # then have identical languages.
+    lts = make_lts(3, 0, [(0, "a", 1), (1, "b", 2)])
+
+    def symbol(src, aid, dst):
+        label = lts.action_labels[aid]
+        return None if label == "a" else label
+
+    blocks = language_partition(lts, symbol)
+    assert blocks[0] == blocks[1]
+    assert blocks[0] != blocks[2]

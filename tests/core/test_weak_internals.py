@@ -1,0 +1,64 @@
+"""Weak-bisimulation internals: saturation and tau-closures."""
+
+from repro.core import make_lts, tau_closures, weak_partition
+from repro.core.weak import _weak_step_sets
+from repro.core.partition import num_blocks
+
+
+def test_tau_closures_reflexive():
+    lts = make_lts(2, 0, [(0, "a", 1)])
+    closures = tau_closures(lts)
+    assert closures[0] == frozenset({0})
+    assert closures[1] == frozenset({1})
+
+
+def test_tau_closures_transitive():
+    lts = make_lts(4, 0, [(0, "tau", 1), (1, "tau", 2), (2, "a", 3)])
+    closures = tau_closures(lts)
+    assert closures[0] == frozenset({0, 1, 2})
+
+
+def test_tau_closures_cycle():
+    lts = make_lts(3, 0, [(0, "tau", 1), (1, "tau", 0), (1, "tau", 2)])
+    closures = tau_closures(lts)
+    assert closures[0] == closures[1] == frozenset({0, 1, 2})
+
+
+def test_weak_steps_saturate_both_sides():
+    # 0 -tau-> 1 -a-> 2 -tau-> 3: from 0 the saturated 'a' reaches 2 and 3.
+    lts = make_lts(4, 0, [(0, "tau", 1), (1, "a", 2), (2, "tau", 3)])
+    closures = tau_closures(lts)
+    steps = _weak_step_sets(lts, closures)
+    aid = lts.lookup_action("a")
+    assert (aid, 2) in steps[0]
+    assert (aid, 3) in steps[0]
+    assert steps[2] == frozenset()
+
+
+def test_weak_partition_collapses_tau_chain():
+    lts = make_lts(4, 0, [(0, "tau", 1), (1, "tau", 2), (2, "a", 3)])
+    blocks = weak_partition(lts)
+    assert blocks[0] == blocks[1] == blocks[2]
+    assert blocks[0] != blocks[3]
+
+
+def test_weak_coarser_than_branching_on_classic_pair():
+    # Combined LTS embedding c.(a + tau.b) and c.(a + tau.b) + c.b:
+    lts = make_lts(12, 0, [
+        (0, "tau", 1), (0, "tau", 5),
+        (1, "c", 2), (2, "a", 3), (2, "tau", 4), (4, "b", 11),
+        (5, "c", 6), (6, "a", 7), (6, "tau", 8), (8, "b", 9),
+        (5, "c", 10), (10, "b", 11),
+    ])
+    from repro.core import branching_partition
+
+    weak = weak_partition(lts)
+    branching = branching_partition(lts)
+    assert weak[1] == weak[5]          # weakly bisimilar
+    assert branching[1] != branching[5]  # branching distinguishes
+
+
+def test_weak_partition_initial_respected():
+    lts = make_lts(2, 0, [])
+    assert num_blocks(weak_partition(lts)) == 1
+    assert num_blocks(weak_partition(lts, initial=[0, 1])) == 2

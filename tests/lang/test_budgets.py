@@ -1,0 +1,78 @@
+"""Per-thread operation budgets (used by the Fig. 6 scenario benches)."""
+
+import pytest
+
+from repro.lang import ClientConfig, Method, ObjectProgram, ReadGlobal, Return, explore
+from repro.lang import spec_lts, queue_spec
+
+
+def tiny_program():
+    return ObjectProgram(
+        "tiny",
+        methods=[Method("m", locals_={"x": None}, body=[
+            ReadGlobal("x", "G").at("L1"),
+            Return("x").at("L2"),
+        ])],
+        globals_={"G": 7},
+    )
+
+
+WL = [("m", ())]
+
+
+def count_calls_per_thread(lts):
+    counts = {}
+    for _s, aid, _d in lts.transitions():
+        label = lts.action_labels[aid]
+        if isinstance(label, tuple) and label[0] == "call":
+            counts[label[1]] = counts.get(label[1], 0) + 1
+    return counts
+
+
+def test_uniform_budget_tuple_equivalent_to_int():
+    a = explore(tiny_program(), ClientConfig(2, 2, WL))
+    b = explore(tiny_program(), ClientConfig(2, (2, 2), WL))
+    assert a.num_states == b.num_states
+    assert a.num_transitions == b.num_transitions
+
+
+def test_asymmetric_budget_limits_one_thread():
+    lts = explore(tiny_program(), ClientConfig(2, (2, 0), WL))
+    calls = count_calls_per_thread(lts)
+    assert 1 in calls
+    assert 2 not in calls          # thread 2 has no budget
+
+
+def test_budget_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        explore(tiny_program(), ClientConfig(2, (2,), WL))
+
+
+def test_max_return_depth_respects_asymmetric_budget():
+    # Thread 1 can run 3 ops; thread 2 only 1: the longest execution has
+    # exactly 4 call actions.
+    lts = explore(tiny_program(), ClientConfig(2, (3, 1), WL))
+    # Count maximal call-depth by DFS over call/ret edges.
+    best = 0
+    stack = [(lts.init, 0)]
+    seen = {}
+    while stack:
+        state, depth = stack.pop()
+        if seen.get(state, -1) >= depth:
+            continue
+        seen[state] = depth
+        best = max(best, depth)
+        for aid, dst in lts.successors(state):
+            label = lts.action_labels[aid]
+            is_call = isinstance(label, tuple) and label[0] == "call"
+            stack.append((dst, depth + (1 if is_call else 0)))
+    assert best == 4
+
+
+def test_spec_lts_accepts_budget_tuple():
+    wl = [("enq", (1,)), ("deq", ())]
+    uniform = spec_lts(queue_spec(), 2, 1, wl)
+    tupled = spec_lts(queue_spec(), 2, (1, 1), wl)
+    assert uniform.num_states == tupled.num_states
+    asym = spec_lts(queue_spec(), 2, (1, 0), wl)
+    assert asym.num_states < uniform.num_states

@@ -1,0 +1,101 @@
+"""Linearizable specification generator tests (Section II.C)."""
+
+from repro.core import TAU_ID, tau_cycle_states
+from repro.lang import (
+    EMPTY,
+    SpecObject,
+    queue_spec,
+    register_spec,
+    set_spec,
+    spec_lts,
+    stack_spec,
+)
+
+
+def labels_of(lts):
+    return {lts.action_labels[aid] for _s, aid, _d in lts.transitions()}
+
+
+def test_method_execution_is_three_steps():
+    # One thread, one op: call, atomic tau, ret -> exactly 4 states.
+    lts = spec_lts(queue_spec(), 1, 1, [("enq", (1,))])
+    assert lts.num_states == 4
+    kinds = [lts.action_labels[aid][0] if aid != TAU_ID else "tau"
+             for _s, aid, _d in lts.transitions()]
+    assert sorted(kinds) == ["call", "ret", "tau"]
+
+
+def test_queue_spec_fifo():
+    def run(*calls):
+        state = ()
+        out = []
+        spec = queue_spec()
+        for m, args in calls:
+            results = spec.method(m)(state, args)
+            assert len(results) == 1
+            state, value = results[0]
+            out.append(value)
+        return out
+
+    assert run(("enq", (1,)), ("enq", (2,)), ("deq", ()), ("deq", ()), ("deq", ())) \
+        == [None, None, 1, 2, EMPTY]
+
+
+def test_stack_spec_lifo():
+    spec = stack_spec()
+    state = ()
+    state, _ = spec.method("push")(state, (1,))[0]
+    state, _ = spec.method("push")(state, (2,))[0]
+    state, v = spec.method("pop")(state, ())[0]
+    assert v == 2
+    state, v = spec.method("pop")(state, ())[0]
+    assert v == 1
+    _, v = spec.method("pop")(state, ())[0]
+    assert v == EMPTY
+
+
+def test_set_spec_semantics():
+    spec = set_spec()
+    state = frozenset()
+    state, added = spec.method("add")(state, (1,))[0]
+    assert added is True
+    state, added = spec.method("add")(state, (1,))[0]
+    assert added is False
+    _, found = spec.method("contains")(state, (1,))[0]
+    assert found is True
+    state, removed = spec.method("remove")(state, (1,))[0]
+    assert removed is True
+    _, removed = spec.method("remove")(state, (1,))[0]
+    assert removed is False
+
+
+def test_register_spec_newcas():
+    spec = register_spec(0)
+    state, prior = spec.method("newcas")(0, (0, 5))[0]
+    assert (state, prior) == (5, 0)
+    state, prior = spec.method("newcas")(5, (0, 7))[0]
+    assert (state, prior) == (5, 5)  # mismatch: unchanged, prior returned
+
+
+def test_spec_lts_is_lock_free():
+    lts = spec_lts(queue_spec(), 2, 2, [("enq", (1,)), ("deq", ())])
+    assert tau_cycle_states(lts) == []
+
+
+def test_spec_lts_interleaving_labels():
+    lts = spec_lts(stack_spec(), 2, 1, [("push", (1,)), ("pop", ())])
+    labels = labels_of(lts)
+    assert ("call", 1, "push", (1,)) in labels
+    assert ("ret", 2, "pop", EMPTY) in labels
+    assert ("ret", 2, "pop", 1) in labels
+
+
+def test_nondeterministic_spec_supported():
+    flaky = SpecObject(
+        "flaky", initial=0,
+        methods={"flip": lambda state, args: [(0, "heads"), (1, "tails")]},
+    )
+    lts = spec_lts(flaky, 1, 1, [("flip", ())])
+    labels = labels_of(lts)
+    assert ("ret", 1, "flip", "heads") in labels
+    assert ("ret", 1, "flip", "tails") in labels

@@ -1,0 +1,139 @@
+"""Structured-statement compiler tests."""
+
+import pytest
+
+from repro.lang import (
+    Branch,
+    Break,
+    Continue,
+    Goto,
+    If,
+    Jump,
+    Label,
+    LocalAssign,
+    ModelError,
+    Return,
+    While,
+    compile_body,
+)
+
+
+def run_straightline(ops, env):
+    """Execute local-only compiled ops for testing control flow."""
+    from repro.lang.semantics import execute
+    from repro.lang import Method, ObjectProgram
+
+    prog = ObjectProgram("t", methods=[Method("m", body=[Return(None)])])
+    pc = 0
+    trace = []
+    fuel = 200
+    while pc < len(ops) and fuel:
+        fuel -= 1
+        outcome = execute(prog, ops[pc], (), (), env)[0]
+        if outcome[0] == "ret":
+            return env, outcome[3], trace
+        env = outcome[3]
+        target = outcome[4]
+        trace.append(pc)
+        pc = pc + 1 if target < 0 else target
+    return env, None, trace
+
+
+def test_if_without_else():
+    ops = compile_body([
+        If(lambda L: L["x"] > 0, [LocalAssign(y=1)]),
+        Return("y"),
+    ])
+    _, ret, _ = run_straightline(ops, {"x": 1, "y": 0})
+    assert ret == 1
+    _, ret, _ = run_straightline(ops, {"x": -1, "y": 0})
+    assert ret == 0
+
+
+def test_if_with_else():
+    ops = compile_body([
+        If("x", [LocalAssign(y="pos")], [LocalAssign(y="neg")]),
+        Return("y"),
+    ])
+    assert run_straightline(ops, {"x": True, "y": None})[1] == "pos"
+    assert run_straightline(ops, {"x": False, "y": None})[1] == "neg"
+
+
+def test_while_loop():
+    ops = compile_body([
+        While(lambda L: L["i"] < 5, [
+            LocalAssign(i=lambda L: L["i"] + 1, acc=lambda L: L["acc"] + L["i"]),
+        ]),
+        Return("acc"),
+    ])
+    assert run_straightline(ops, {"i": 0, "acc": 0})[1] == 0 + 1 + 2 + 3 + 4
+
+
+def test_break_and_continue():
+    ops = compile_body([
+        While(True, [
+            LocalAssign(i=lambda L: L["i"] + 1),
+            If(lambda L: L["i"] % 2 == 0, [Continue()]),
+            If(lambda L: L["i"] > 5, [Break()]),
+        ]),
+        Return("i"),
+    ])
+    assert run_straightline(ops, {"i": 0})[1] == 7
+
+
+def test_nested_loops_break_targets_inner():
+    ops = compile_body([
+        While(lambda L: L["outer"] < 2, [
+            LocalAssign(outer=lambda L: L["outer"] + 1),
+            While(True, [
+                LocalAssign(inner=lambda L: L["inner"] + 1),
+                Break(),
+            ]),
+        ]),
+        Return("inner"),
+    ])
+    assert run_straightline(ops, {"outer": 0, "inner": 0})[1] == 2
+
+
+def test_goto_and_label():
+    ops = compile_body([
+        Label("top"),
+        LocalAssign(i=lambda L: L["i"] + 1),
+        If(lambda L: L["i"] < 3, [Goto("top")]),
+        Return("i"),
+    ])
+    assert run_straightline(ops, {"i": 0})[1] == 3
+
+
+def test_errors():
+    with pytest.raises(ModelError):
+        compile_body([Break()])
+    with pytest.raises(ModelError):
+        compile_body([Continue()])
+    with pytest.raises(ModelError):
+        compile_body([Goto("nowhere")])
+    with pytest.raises(ModelError):
+        compile_body([Label("x"), Label("x")])
+    with pytest.raises(ModelError):
+        compile_body(["not a statement"])
+
+
+def test_compiled_branch_targets_resolved():
+    ops = compile_body([
+        While(lambda L: L["x"], [LocalAssign(x=False)]),
+        Return(None),
+    ])
+    for op in ops:
+        if isinstance(op, Branch):
+            assert op.on_true >= 0 and op.on_false >= 0
+        if isinstance(op, Jump):
+            assert op.target >= 0
+
+
+def test_statement_line_annotation_flows_to_branch():
+    ops = compile_body([
+        While(lambda L: True, [LocalAssign(x=1)]).at("L3"),
+        Return(None),
+    ])
+    branches = [op for op in ops if isinstance(op, Branch)]
+    assert branches[0].line == "L3"

@@ -1,0 +1,97 @@
+"""LTL syntax, NNF and parser tests."""
+
+import pytest
+
+from repro.ltl import (
+    AP,
+    FALSE,
+    TRUE,
+    And,
+    Finally,
+    Globally,
+    Implies,
+    Not,
+    Or,
+    Release,
+    Until,
+    negation_normal_form,
+    parse,
+    render,
+)
+
+a = AP("a", lambda l: l == "a")
+b = AP("b", lambda l: l == "b")
+PROPS = {"a": a, "b": b}
+
+
+def test_ap_identity_by_name():
+    assert AP("a", lambda l: True) == AP("a", lambda l: False)
+    assert hash(AP("a", None)) == hash(AP("a", lambda l: False))
+    assert AP("a", None) != AP("b", None)
+
+
+def test_nnf_double_negation():
+    assert negation_normal_form(Not(Not(a))) == a
+
+
+def test_nnf_de_morgan():
+    assert negation_normal_form(Not(And(a, b))) == Or(Not(a), Not(b))
+    assert negation_normal_form(Not(Or(a, b))) == And(Not(a), Not(b))
+
+
+def test_nnf_temporal_duals():
+    assert negation_normal_form(Not(Until(a, b))) == Release(Not(a), Not(b))
+    assert negation_normal_form(Not(Release(a, b))) == Until(Not(a), Not(b))
+
+
+def test_nnf_globally_finally():
+    # G a == false R a ; !G a == true U !a
+    assert negation_normal_form(Not(Globally(a))) == Until(TRUE, Not(a))
+    assert negation_normal_form(Not(Finally(a))) == Release(FALSE, Not(a))
+
+
+def test_nnf_constants():
+    assert negation_normal_form(Not(TRUE)) == FALSE
+    assert negation_normal_form(Not(FALSE)) == TRUE
+
+
+def test_derived_operators():
+    assert Finally(a) == Until(TRUE, a)
+    assert Globally(a) == Release(FALSE, a)
+    assert Implies(a, b) == Or(Not(a), b)
+
+
+def test_parse_simple():
+    assert parse("a", PROPS) == a
+    assert parse("!a", PROPS) == Not(a)
+    assert parse("a & b", PROPS) == And(a, b)
+    assert parse("a | b", PROPS) == Or(a, b)
+    assert parse("a U b", PROPS) == Until(a, b)
+    assert parse("G a", PROPS) == Globally(a)
+    assert parse("F b", PROPS) == Finally(b)
+    assert parse("true", PROPS) == TRUE
+
+
+def test_parse_precedence_and_parens():
+    # -> is loosest; & binds tighter than |.
+    assert parse("a -> F b", PROPS) == Implies(a, Finally(b))
+    assert parse("a | a & b", PROPS) == Or(a, And(a, b))
+    assert parse("(a | a) & b", PROPS) == And(Or(a, a), b)
+    assert parse("G (a -> F b)", PROPS) == Globally(Implies(a, Finally(b)))
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        parse("c", PROPS)
+    with pytest.raises(ValueError):
+        parse("(a", PROPS)
+    with pytest.raises(ValueError):
+        parse("a b", PROPS)
+    with pytest.raises(ValueError):
+        parse("a @ b", PROPS)
+
+
+def test_render_round_trip_structure():
+    phi = Globally(Implies(a, Finally(b)))
+    text = render(phi)
+    assert "a" in text and "b" in text and "U" in text

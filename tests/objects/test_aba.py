@@ -1,0 +1,48 @@
+"""ABA modeling end-to-end: manual reclamation breaks the Treiber stack.
+
+Validates the heap model's free/reallocate semantics: freed nodes that
+are still referenced are reallocation candidates, so a pop holding a
+stale snapshot can succeed against a recycled node.  The quotient-
+refinement check finds the resulting double-pop automatically -- and
+the hazard-pointer variant (Table II row 2) on the *same* workload does
+not exhibit it, which is precisely what hazard pointers are for.
+"""
+
+from collections import Counter
+
+from repro.objects import get
+from repro.objects.treiber import build_manual_reclamation
+from repro.verify import check_linearizability
+
+WORKLOAD = [("push", (1,)), ("push", (2,)), ("pop", ())]
+BUDGETS = (2, 3)
+
+
+def test_manual_reclamation_is_not_linearizable():
+    result = check_linearizability(
+        build_manual_reclamation(2), get("treiber").spec(),
+        num_threads=2, ops_per_thread=BUDGETS, workload=WORKLOAD,
+    )
+    assert not result.linearizable
+    # The history double-pops some value: more successful pops of v
+    # than pushes of v.
+    pushes = Counter()
+    pops = Counter()
+    pending = {}
+    for label in result.counterexample:
+        if label[0] == "call":
+            pending[label[1]] = label
+        elif label[2] == "push":
+            pushes[pending[label[1]][3][0]] += 1
+        elif label[2] == "pop" and label[3] != "EMPTY":
+            pops[label[3]] += 1
+    assert any(pops[v] > pushes[v] for v in pops)
+
+
+def test_hazard_pointers_fix_the_same_workload():
+    bench = get("treiber_hp")
+    result = check_linearizability(
+        bench.build(2), bench.spec(),
+        num_threads=2, ops_per_thread=BUDGETS, workload=WORKLOAD,
+    )
+    assert result.linearizable

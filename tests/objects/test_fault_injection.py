@@ -1,0 +1,172 @@
+"""Fault injection: seeded bugs that the checkers must catch.
+
+Mutates the benchmark algorithms in small, realistic ways (the kind of
+slip a programmer makes) and asserts the pipelines detect each fault.
+This guards against the checkers silently passing everything.
+"""
+
+from repro.lang import (
+    Alloc,
+    CasGlobal,
+    ClientConfig,
+    EMPTY,
+    HeapBuilder,
+    If,
+    Method,
+    ObjectProgram,
+    ReadField,
+    ReadGlobal,
+    Return,
+    While,
+    WriteField,
+    WriteGlobal,
+    stack_spec,
+    queue_spec,
+)
+from repro.objects.treiber import NODE_FIELDS as STACK_FIELDS, pop_method
+from repro.objects.ms_queue import NODE_FIELDS as QUEUE_FIELDS, enqueue_method
+from repro.verify import check_linearizability, check_lock_freedom_auto
+
+BOUNDS = dict(num_threads=2, ops_per_thread=2)
+
+
+def test_push_without_cas_is_not_linearizable():
+    """Treiber push with a plain write instead of CAS: lost updates."""
+    broken_push = Method(
+        "push",
+        params=["v"],
+        locals_={"node": None, "t": None},
+        body=[
+            Alloc("node", val="v", next=None).at("B1"),
+            ReadGlobal("t", "Top").at("B2"),
+            WriteField("node", "next", "t").at("B3"),
+            WriteGlobal("Top", "node").at("B4"),   # FAULT: no CAS
+            Return(None).at("B5"),
+        ],
+    )
+    program = ObjectProgram(
+        "broken-stack",
+        methods=[broken_push, pop_method()],
+        globals_={"Top": None},
+        node_fields=STACK_FIELDS,
+    )
+    result = check_linearizability(
+        program, stack_spec(),
+        workload=[("push", (1,)), ("push", (2,)), ("pop", ())], **BOUNDS,
+    )
+    assert not result.linearizable
+
+
+def test_enqueue_skipping_validation_still_linearizable_but_detectable():
+    """MS dequeue with the L21 validation removed.
+
+    Removing the head re-read validation does not break FIFO semantics
+    under GC (the L28 CAS still guards the commit), so linearizability
+    must still hold -- a check that the tooling does not produce false
+    positives on a benign mutation.
+    """
+    deq_no_validation = Method(
+        "deq",
+        params=[],
+        locals_={"h": None, "t": None, "n": None, "v": None, "b": False},
+        body=[
+            While(True, [
+                ReadGlobal("h", "Head").at("L18"),
+                ReadGlobal("t", "Tail").at("L19"),
+                ReadField("n", "h", "next").at("L20"),
+                If(lambda L: L["h"] == L["t"], [
+                    If(lambda L: L["n"] is None, [Return(EMPTY).at("L23")], [
+                        CasGlobal(None, "Tail", "t", "n").at("L24"),
+                    ]),
+                ], [
+                    ReadField("v", "n", "val").at("L26"),
+                    CasGlobal("b", "Head", "h", "n").at("L28"),
+                    If("b", [Return("v").at("L29")]),
+                ]),
+            ]).at("L17"),
+        ],
+    )
+    heap = HeapBuilder(QUEUE_FIELDS)
+    sentinel = heap.alloc(val=0, next=None)
+    program = ObjectProgram(
+        "ms-queue-no-validation",
+        methods=[enqueue_method(), deq_no_validation],
+        globals_={"Head": sentinel, "Tail": sentinel},
+        node_fields=QUEUE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+    result = check_linearizability(
+        program, queue_spec(),
+        workload=[("enq", (1,)), ("enq", (2,)), ("deq", ())], **BOUNDS,
+    )
+    assert result.linearizable
+
+
+def test_enqueue_with_plain_link_write_crashes_a_dequeuer():
+    """MS enqueue linking with a plain write instead of the L8 CAS.
+
+    The lost-update race corrupts the list structure badly enough that
+    a dequeuer dereferences null -- surfacing as a ``ModelError`` during
+    exploration (the model-level analogue of a segfault).  Memory-safety
+    violations are reported as errors rather than silently ignored.
+    """
+    broken_enq = Method(
+        "enq",
+        params=["v"],
+        locals_={"node": None, "t": None},
+        body=[
+            Alloc("node", val="v", next=None).at("B2"),
+            ReadGlobal("t", "Tail").at("B4"),
+            WriteField("t", "next", "node").at("B8"),   # FAULT: no CAS
+            CasGlobal(None, "Tail", "t", "node").at("B15"),
+            Return(None).at("B16"),
+        ],
+    )
+    from repro.objects.ms_queue import dequeue_method
+
+    heap = HeapBuilder(QUEUE_FIELDS)
+    sentinel = heap.alloc(val=0, next=None)
+    program = ObjectProgram(
+        "ms-queue-broken-enq",
+        methods=[broken_enq, dequeue_method()],
+        globals_={"Head": sentinel, "Tail": sentinel},
+        node_fields=QUEUE_FIELDS,
+        initial_heap=heap.heap(),
+    )
+    import pytest
+    from repro.lang import ModelError
+
+    with pytest.raises(ModelError, match="non-pointer"):
+        check_linearizability(
+            program, queue_spec(),
+            workload=[("enq", (1,)), ("enq", (2,)), ("deq", ())], **BOUNDS,
+        )
+
+
+def test_injected_spin_loop_breaks_lock_freedom():
+    """A busy-wait on a flag nobody clears: detected as divergence."""
+    spin_method = Method(
+        "spin_wait",
+        params=[],
+        locals_={"f": None},
+        body=[
+            While(True, [
+                ReadGlobal("f", "Flag").at("S1"),
+                If(lambda L: not L["f"], [Return(None).at("S2")]),
+            ]).at("S0"),
+        ],
+    )
+    set_method = Method(
+        "set", params=[],
+        body=[WriteGlobal("Flag", True).at("W1"), Return(None).at("W2")],
+    )
+    program = ObjectProgram(
+        "spinner", methods=[spin_method, set_method], globals_={"Flag": False},
+    )
+    result = check_lock_freedom_auto(
+        program, workload=[("spin_wait", ()), ("set", ())], **BOUNDS,
+    )
+    assert not result.lock_free
+    assert result.diagnostic is not None
+    cycle_lines = {step.annotation for step in result.diagnostic.cycle}
+    assert any(ann and ann.endswith("S1") for ann in cycle_lines)

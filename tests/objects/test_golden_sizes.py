@@ -1,0 +1,49 @@
+"""Golden state-space sizes (regression canaries).
+
+These pin the exact state counts of a few benchmark explorations and
+their quotients.  They are *encoding-sensitive by design*: any change
+to the operational semantics, the canonicalization, the fusion rule or
+a benchmark model moves them, which is exactly what we want to notice.
+If you change the encoding deliberately, update the numbers (and
+re-check EXPERIMENTS.md, which quotes some of them).
+"""
+
+import pytest
+
+from repro.core import branching_partition, num_blocks, quotient_lts
+from repro.lang import ClientConfig, explore, spec_lts
+from repro.objects import get
+
+GOLDEN = {
+    # key: (threads, ops, |D|, |D/~|)
+    "treiber": (2, 2, 10505, 388),
+    "ms_queue": (2, 2, 36175, 337),
+    "dglm_queue": (2, 2, 32811, 337),
+    "newcas": (2, 2, 1013, 182),
+    "hw_queue": (2, 2, 4790, 179),
+    "ccas": (2, 2, 8380, 253),
+}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_exploration_sizes(key):
+    threads, ops, states, quotient_states = GOLDEN[key]
+    bench = get(key)
+    system = explore(
+        bench.build(threads), ClientConfig(threads, ops, bench.default_workload())
+    )
+    assert system.num_states == states
+    quotient = quotient_lts(system, branching_partition(system))
+    assert quotient.lts.num_states == quotient_states
+
+
+def test_golden_ms_and_dglm_share_quotient_size():
+    assert GOLDEN["ms_queue"][3] == GOLDEN["dglm_queue"][3]
+
+
+def test_golden_spec_sizes():
+    bench = get("ms_queue")
+    spec_system = spec_lts(bench.spec(), 2, 2, bench.default_workload())
+    assert spec_system.num_states == 1379
+    blocks = branching_partition(spec_system)
+    assert num_blocks(blocks) == 337

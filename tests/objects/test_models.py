@@ -1,0 +1,123 @@
+"""Structural tests of the 14 benchmark models (compile, layout, labels)."""
+
+import pytest
+
+from repro.lang import Branch, Jump, Return
+from repro.objects import all_benchmarks, get
+from repro.objects.registry import (
+    ccas_workload,
+    newcas_workload,
+    queue_workload,
+    rdcss_workload,
+    set_workload,
+    stack_workload,
+)
+
+
+@pytest.mark.parametrize("key", [b.key for b in all_benchmarks()])
+def test_every_method_compiles_and_ends_in_return(key):
+    program = get(key).build(2)
+    for method in program.methods:
+        ops = method.ops
+        assert ops, method.name
+        # Every terminal op (no fall-through) is fine; at minimum there
+        # must be a Return somewhere and targets must be resolved.
+        assert any(isinstance(op, Return) for op in _flatten(ops)), method.name
+        for op in ops:
+            if isinstance(op, Branch):
+                assert 0 <= op.on_true <= len(ops)
+                assert 0 <= op.on_false <= len(ops)
+            if isinstance(op, Jump):
+                assert 0 <= op.target <= len(ops)
+
+
+def _flatten(ops):
+    from repro.lang import AtomicBlock
+    from repro.lang.stmts import compile_body
+
+    out = []
+    for op in ops:
+        out.append(op)
+        if isinstance(op, AtomicBlock):
+            out.extend(_flatten(compile_body(list(op.body))))
+    return out
+
+
+@pytest.mark.parametrize("key", [b.key for b in all_benchmarks()])
+def test_shared_ops_carry_line_labels(key):
+    """Diagnostics rely on line annotations on shared-memory steps."""
+    from repro.lang import (
+        Alloc, CasField, CasGlobal, FetchAddGlobal, Free, ReadField,
+        ReadGlobal, SwapField, WriteField, WriteGlobal,
+    )
+
+    shared = (Alloc, CasField, CasGlobal, FetchAddGlobal, Free, ReadField,
+              ReadGlobal, SwapField, WriteField, WriteGlobal)
+    program = get(key).build(2)
+    for method in program.methods:
+        for op in method.ops:
+            if isinstance(op, shared):
+                assert op.line, f"{program.name}.{method.name}: {op!r}"
+
+
+@pytest.mark.parametrize("key", [b.key for b in all_benchmarks()])
+def test_workload_methods_exist(key):
+    bench = get(key)
+    program = bench.build(2)
+    for mname, args in bench.default_workload():
+        method = program.method(mname)
+        assert len(args) == len(method.params), (mname, args)
+        assert mname in bench.spec().methods
+
+
+def test_workload_generators():
+    assert ("enq", (1,)) in queue_workload(1)
+    assert ("deq", ()) in queue_workload(3)
+    assert len(stack_workload(3)) == 4
+    assert ("remove", (2,)) in set_workload(2)
+    assert all(m in ("ccas", "setflag") for m, _ in ccas_workload())
+    assert ("seta", (0,)) in rdcss_workload()
+    assert all(len(a) == 2 for _m, a in newcas_workload(2))
+
+
+def test_registry_covers_table_2():
+    keys = {bench.key for bench in all_benchmarks()}
+    assert len(keys) == 15  # 14 rows; HM list contributes two variants + buggy HP
+    expected = {
+        "treiber", "treiber_hp", "treiber_hp_buggy", "ms_queue", "dglm_queue",
+        "ccas", "rdcss", "newcas", "hm_list", "hm_list_buggy", "hw_queue",
+        "hsy_stack", "lazy_list", "optimistic_list", "fine_list",
+    }
+    assert keys == expected
+
+
+def test_titles_match_paper_numbering():
+    assert get("treiber").title.startswith("1.")
+    assert get("hm_list_buggy").title.startswith("9-1.")
+    assert get("fine_list").title.startswith("14.")
+
+
+def test_hazard_pointer_globals_scale_with_threads():
+    for builder in (get("treiber_hp").build, get("treiber_hp_buggy").build):
+        for threads in (2, 3):
+            program = builder(threads)
+            hp = program.globals_["HP"]
+            assert len(hp) == threads
+
+
+def test_sentinel_layouts():
+    ms = get("ms_queue").build(2)
+    assert len(ms.initial_heap) == 1                 # queue sentinel
+    lazy = get("lazy_list").build(2)
+    assert len(lazy.initial_heap) == 2               # head + tail sentinels
+    hm = get("hm_list").build(2)
+    assert len(hm.initial_heap) == 1                 # head sentinel
+    treiber = get("treiber").build(2)
+    assert len(treiber.initial_heap) == 0            # empty stack
+
+
+def test_abstract_builders_exist_for_the_four_paper_objects():
+    for key in ("ms_queue", "dglm_queue", "ccas", "rdcss"):
+        assert get(key).abstract is not None
+    for key in ("treiber", "hm_list", "hw_queue"):
+        assert get(key).abstract is None

@@ -1,0 +1,46 @@
+"""Sequential sanity: single-threaded objects equal their specifications.
+
+With one thread there is no concurrency, so every benchmark must be
+*trace-equivalent* to its sequential specification (not merely a
+refinement): the implementation realizes exactly the sequential
+behaviours.  This catches modeling slips that the concurrent
+refinement check would mask (e.g. an operation that silently loses a
+legal sequential outcome).
+"""
+
+import pytest
+
+from repro.core import branching_partition, quotient_lts, trace_refines
+from repro.lang import ClientConfig, explore, spec_lts
+from repro.objects import all_benchmarks, get
+
+
+@pytest.mark.parametrize(
+    "key",
+    [bench.key for bench in all_benchmarks() if bench.expect_linearizable],
+)
+def test_single_thread_trace_equivalent_to_spec(key):
+    bench = get(key)
+    workload = bench.default_workload()
+    system = explore(bench.build(1), ClientConfig(1, 2, workload))
+    spec_system = spec_lts(bench.spec(), 1, 2, workload)
+    impl_quotient = quotient_lts(system, branching_partition(system)).lts
+    spec_quotient = quotient_lts(spec_system, branching_partition(spec_system)).lts
+    assert trace_refines(impl_quotient, spec_quotient).holds, "impl adds behaviour"
+    if key == "hw_queue":
+        # The HW dequeue never returns EMPTY -- it scans forever on an
+        # empty queue (that is its lock-freedom violation), so the
+        # specification's EMPTY branch is unrealizable by design.
+        return
+    assert trace_refines(spec_quotient, impl_quotient).holds, "impl loses behaviour"
+
+
+def test_buggy_variants_are_sequentially_correct():
+    """Both bug variants are fine sequentially -- the bugs are races."""
+    for key in ("hm_list_buggy", "treiber_hp_buggy"):
+        bench = get(key)
+        workload = bench.default_workload()
+        system = explore(bench.build(1), ClientConfig(1, 2, workload))
+        spec_system = spec_lts(bench.spec(), 1, 2, workload)
+        assert trace_refines(system, spec_system).holds
+        assert trace_refines(spec_system, system).holds

@@ -1,0 +1,53 @@
+"""Table II integration tests: every benchmark gets the paper's verdict.
+
+Bounds are kept small (2 threads x 2 ops, 2 values) so the whole matrix
+runs in about a minute of CPython time; the benches rerun the same
+pipelines at larger bounds.
+"""
+
+import pytest
+
+from repro.objects import all_benchmarks, get
+from repro.verify import check_lock_freedom_auto, check_linearizability
+
+BOUNDS = dict(num_threads=2, ops_per_thread=2)
+
+
+@pytest.mark.parametrize(
+    "key", [bench.key for bench in all_benchmarks()]
+)
+def test_linearizability_verdict(key):
+    bench = get(key)
+    result = check_linearizability(
+        bench.build(BOUNDS["num_threads"]),
+        bench.spec(),
+        workload=bench.default_workload(),
+        **BOUNDS,
+    )
+    assert result.linearizable == bench.expect_linearizable
+    if not bench.expect_linearizable:
+        assert result.counterexample is not None
+
+
+@pytest.mark.parametrize(
+    "key",
+    [bench.key for bench in all_benchmarks() if bench.expect_lock_free is not None],
+)
+def test_lock_freedom_verdict(key):
+    bench = get(key)
+    result = check_lock_freedom_auto(
+        bench.build(BOUNDS["num_threads"]),
+        workload=bench.default_workload(),
+        **BOUNDS,
+    )
+    assert result.lock_free == bench.expect_lock_free
+    if not bench.expect_lock_free:
+        assert result.diagnostic is not None
+
+
+def test_quotients_are_much_smaller():
+    bench = get("ms_queue")
+    result = check_linearizability(
+        bench.build(2), bench.spec(), workload=bench.default_workload(), **BOUNDS
+    )
+    assert result.reduction_factor > 20

@@ -1,0 +1,88 @@
+"""CLI tests (argument parsing + end-to-end subcommands)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "ms_queue" in out
+    assert "NOT lock-free" in out
+    assert "14." in out
+
+
+def test_verify_ok(capsys):
+    code = main(["verify", "newcas", "--threads", "2", "--ops", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "linearizable: True" in out
+    assert "lock-free: True" in out
+    assert "obstruction-free: True" in out
+
+
+def test_verify_bug_exit_code(capsys):
+    code = main(["verify", "hw_queue", "--threads", "2", "--ops", "1"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "lock-free: False" in out
+    assert "divergence" in out
+
+
+def test_verify_lock_based_skips(capsys):
+    code = main(["verify", "fine_list", "--threads", "2", "--ops", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "skipped (lock-based" in out
+
+
+def test_explore_quotient_compare_round_trip(tmp_path, capsys):
+    impl = str(tmp_path / "impl.aut")
+    quotient = str(tmp_path / "quotient.aut")
+    assert main(["explore", "newcas", "--ops", "1", "--out", impl]) == 0
+    assert main(["quotient", "newcas", "--ops", "1", "--out", quotient]) == 0
+    out = capsys.readouterr().out
+    assert "essential internal steps" in out
+
+    # The quotient is branching-divergence bisimilar to the system.
+    code = main(["compare", impl, quotient, "--relation", "branching",
+                 "--divergence"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "bisimilar: True" in out
+
+    # ... and trace-equivalent.
+    assert main(["compare", impl, quotient, "--relation", "trace"]) == 0
+
+
+def test_compare_mismatch_explains(tmp_path, capsys):
+    from repro.core import make_lts
+    from repro.core.aut import write_aut
+
+    a = str(tmp_path / "a.aut")
+    b = str(tmp_path / "b.aut")
+    write_aut(make_lts(2, 0, [(0, "X", 1)]), a)
+    write_aut(make_lts(2, 0, [(0, "Y", 1)]), b)
+    code = main(["compare", a, b])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "bisimilar: False" in out
+    assert "distinguishing experiment" in out
+
+
+def test_compare_weak_and_strong(tmp_path, capsys):
+    from repro.core import make_lts
+    from repro.core.aut import write_aut
+
+    a = str(tmp_path / "a.aut")
+    b = str(tmp_path / "b.aut")
+    write_aut(make_lts(3, 0, [(0, "tau", 1), (1, "x", 2)]), a)
+    write_aut(make_lts(2, 0, [(0, "x", 1)]), b)
+    assert main(["compare", a, b, "--relation", "weak"]) == 0
+    assert main(["compare", a, b, "--relation", "strong"]) == 1
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(SystemExit):
+        main(["verify", "not_a_benchmark"])

@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs and prints sensible output."""
+
+import runpy
+import sys
+
+import pytest
+
+
+def run_example(path, argv, capsys):
+    old_argv = sys.argv
+    sys.argv = [path] + argv
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("examples/quickstart.py", ["newcas", "2", "1"], capsys)
+    assert "linearizable:         True" in out
+    assert "lock-free:            True" in out
+
+
+def test_quickstart_rejects_unknown(capsys):
+    with pytest.raises(SystemExit):
+        run_example("examples/quickstart.py", ["nope"], capsys)
+
+
+def test_quickstart_lock_based_skips_lock_freedom(capsys):
+    out = run_example("examples/quickstart.py", ["fine_list", "2", "1"], capsys)
+    assert "skipped (lock-based" in out
+
+
+def test_ms_queue_analysis(capsys):
+    out = run_example("examples/ms_queue_analysis.py", ["2", "1"], capsys)
+    assert "essential internal steps" in out
+    assert "L20" in out
+    assert "linearizable (Thm 5.3): True" in out
+
+
+def test_custom_object(capsys):
+    out = run_example("examples/custom_object.py", [], capsys)
+    assert "racy-dispenser" in out
+    assert "linearizable: False" in out
+    assert "atomic-dispenser" in out
+    assert "linearizable: True" in out
+
+
+def test_bug_hunting(capsys):
+    out = run_example("examples/bug_hunting.py", [], capsys)
+    assert "lock-free: False" in out
+    assert "linearizable: False" in out
+    assert "divergence" in out
+    assert "B12" in out          # the hazard-pointer spin
+
+
+def test_cadp_interop(capsys, tmp_path):
+    out = run_example(
+        "examples/cadp_interop.py", ["newcas", str(tmp_path)], capsys
+    )
+    assert "system ~div quotient:   True" in out
+    assert "quotient refines spec:  True" in out
+    assert (tmp_path / "newcas.min.aut").exists()
