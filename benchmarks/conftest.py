@@ -13,13 +13,23 @@ bounds scale with the ``REPRO_BENCH_SCALE`` environment variable:
 Rendered tables are printed and written to ``benchmarks/out/``.
 """
 
+import json
 import os
 import pathlib
+import sys
 
 import pytest
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.util.metrics import Stats  # noqa: E402
+
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+PIPELINE_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+#: Named per-bench metric sinks, aggregated at session end.
+_PIPELINE_SINKS = {}
 
 
 @pytest.fixture(scope="session")
@@ -39,3 +49,37 @@ def bench_out():
         print(text)
 
     return write
+
+
+@pytest.fixture(scope="session")
+def pipeline_stats():
+    """Named :class:`repro.util.metrics.Stats` sinks for bench pipelines.
+
+    ``pipeline_stats("table3/ms_queue 2x2")`` returns (creating on first
+    use) a sink to pass as ``stats=`` into the verification pipelines.
+    At session end all sinks are aggregated into ``BENCH_pipeline.json``
+    at the repo root (merged with any existing file, so scales and
+    tables accumulate across runs).
+    """
+
+    def sink(name: str) -> Stats:
+        return _PIPELINE_SINKS.setdefault(name, Stats())
+
+    return sink
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _PIPELINE_SINKS:
+        return
+    payload = {"schema": "repro.bench-pipeline/v1", "scale": SCALE, "benches": {}}
+    if PIPELINE_JSON.exists():
+        try:
+            previous = json.loads(PIPELINE_JSON.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        if previous.get("schema") == payload["schema"]:
+            payload["benches"].update(previous.get("benches", {}))
+    payload["benches"].update(
+        {name: sink.to_dict() for name, sink in sorted(_PIPELINE_SINKS.items())}
+    )
+    PIPELINE_JSON.write_text(json.dumps(payload, indent=2) + "\n")

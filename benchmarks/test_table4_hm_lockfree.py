@@ -24,23 +24,29 @@ ROWS = {
 }
 
 
-def compute_table4(rows):
+def compute_table4(rows, pipeline_stats=None):
     bench = get("hm_list")
     results = []
     for threads, ops in rows:
+        stats = None
+        if pipeline_stats is not None:
+            stats = pipeline_stats(f"table4/hm_list {threads}x{ops}")
         result = check_lock_freedom_auto(
             bench.build(threads),
             num_threads=threads, ops_per_thread=ops,
             workload=bench.default_workload(),
             method="tau-cycle",
+            stats=stats,
         )
         results.append(result)
     return results
 
 
-def test_table4(benchmark, bench_scale, bench_out):
+def test_table4(benchmark, bench_scale, bench_out, pipeline_stats):
     rows = ROWS[bench_scale]
-    results = benchmark.pedantic(compute_table4, args=(rows,), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        compute_table4, args=(rows, pipeline_stats), rounds=1, iterations=1
+    )
     table = render_table(
         ["#Th-#Op", "|D_HM|", "|D_HM/~|", "lock-free (Thm 5.9)", "time (s)",
          "paper |D|", "paper |D/~|"],

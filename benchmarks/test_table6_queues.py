@@ -37,7 +37,7 @@ ROWS = {
 }
 
 
-def compute_table6(rows):
+def compute_table6(rows, pipeline_stats=None):
     ms, dglm = get("ms_queue"), get("dglm_queue")
     workload = ms.default_workload()
     out = []
@@ -54,16 +54,22 @@ def compute_table6(rows):
             "abstract": abstract.num_states,
         }
         for name, bench in (("ms", ms), ("dglm", dglm)):
+            lf_stats = lin_stats = None
+            if pipeline_stats is not None:
+                lf_stats = pipeline_stats(f"table6/{name}_thm58 {threads}x{ops}")
+                lin_stats = pipeline_stats(f"table6/{name}_thm53 {threads}x{ops}")
             t0 = time.perf_counter()
             lf = check_lock_freedom_abstract(
                 bench.build(threads), bench.abstract(threads),
                 num_threads=threads, ops_per_thread=ops, workload=workload,
+                stats=lf_stats,
             )
             entry[f"{name}_thm58_time"] = time.perf_counter() - t0
             t0 = time.perf_counter()
             lin = check_linearizability(
                 bench.build(threads), bench.spec(),
                 num_threads=threads, ops_per_thread=ops, workload=workload,
+                stats=lin_stats,
             )
             entry[f"{name}_thm53_time"] = time.perf_counter() - t0
             entry[f"{name}_states"] = lin.impl_states
@@ -75,9 +81,11 @@ def compute_table6(rows):
     return out
 
 
-def test_table6(benchmark, bench_scale, bench_out):
+def test_table6(benchmark, bench_scale, bench_out, pipeline_stats):
     rows = ROWS[bench_scale]
-    entries = benchmark.pedantic(compute_table6, args=(rows,), rounds=1, iterations=1)
+    entries = benchmark.pedantic(
+        compute_table6, args=(rows, pipeline_stats), rounds=1, iterations=1
+    )
     table = render_table(
         ["#Th-#Op", "|D_MS|", "|D_DGLM|", "|Spec|", "|D_Abs|",
          "|Spec/~|", "|D_MS/~|", "|D_DGLM/~|",

@@ -19,8 +19,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .core import (
     branching_partition,
@@ -34,7 +35,7 @@ from .core import (
 from .core.aut import read_aut, write_aut
 from .lang import ClientConfig, explore
 from .objects import BENCHMARKS, get
-from .util import render_table
+from .util import Stats, render_table, stage
 from .verify import (
     check_linearizability,
     check_lock_freedom_auto,
@@ -48,6 +49,40 @@ def _add_bounds(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--values", type=int, default=2,
                         help="size of the data-value domain in the workload")
     parser.add_argument("--max-states", type=int, default=None)
+
+
+def _add_stats(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--stats", action="store_true",
+                        help="print a per-stage metrics table")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="dump the same metrics as JSON to PATH")
+
+
+def _wants_stats(args) -> bool:
+    return bool(args.stats) or args.json is not None
+
+
+def _emit_stats(args, sinks: Dict[str, Stats]) -> None:
+    """Print and/or dump the collected per-pipeline metrics."""
+    if args.stats:
+        for name, sink in sinks.items():
+            print()
+            print(sink.render(title=f"-- {name} --"))
+    if args.json is not None:
+        payload = {
+            "schema": "repro.cli-stats/v1",
+            "command": args.command,
+            "target": getattr(args, "key", None),
+            "config": {
+                "threads": getattr(args, "threads", None),
+                "ops": getattr(args, "ops", None),
+                "values": getattr(args, "values", None),
+            },
+            "pipelines": {name: sink.to_dict() for name, sink in sinks.items()},
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
 
 
 def _bench_and_config(args):
@@ -81,11 +116,19 @@ def cmd_list(_args) -> int:
 
 def cmd_verify(args) -> int:
     bench, workload, _config = _bench_and_config(args)
+    sinks: Dict[str, Stats] = {}
+
+    def sink(name: str) -> Optional[Stats]:
+        if not _wants_stats(args):
+            return None
+        return sinks.setdefault(name, Stats())
+
     print(f"== {bench.title} | {args.threads} threads x {args.ops} ops ==")
     lin = check_linearizability(
         bench.build(args.threads), bench.spec(),
         num_threads=args.threads, ops_per_thread=args.ops,
         workload=workload, max_states=args.max_states,
+        stats=sink("linearizability"),
     )
     print(f"states {lin.impl_states} -> quotient {lin.impl_quotient_states} "
           f"({lin.reduction_factor:.1f}x)")
@@ -96,12 +139,14 @@ def cmd_verify(args) -> int:
 
     if bench.expect_lock_free is None:
         print("lock-freedom: skipped (lock-based algorithm)")
+        _emit_stats(args, sinks)
         return 1 if failed else 0
 
     lock = check_lock_freedom_auto(
         bench.build(args.threads),
         num_threads=args.threads, ops_per_thread=args.ops,
         workload=workload, max_states=args.max_states,
+        stats=sink("lock-freedom"),
     )
     print(f"lock-free: {lock.lock_free}  ({lock.seconds:.2f}s)")
     if not lock.lock_free:
@@ -112,27 +157,36 @@ def cmd_verify(args) -> int:
         bench.build(args.threads),
         num_threads=args.threads, ops_per_thread=args.ops,
         workload=workload, max_states=args.max_states,
+        stats=sink("obstruction-freedom"),
     )
     print(f"obstruction-free: {obstruction.obstruction_free}  "
           f"({obstruction.seconds:.2f}s)")
     if not obstruction.obstruction_free:
         print(obstruction.render_diagnostic())
+    _emit_stats(args, sinks)
     return 1 if failed else 0
 
 
 def cmd_explore(args) -> int:
     bench, _workload, config = _bench_and_config(args)
-    system = explore(bench.build(args.threads), config)
+    stats = Stats() if _wants_stats(args) else None
+    system = explore(bench.build(args.threads), config, stats=stats)
     write_aut(system, args.out)
     print(f"{bench.key}: {system.num_states} states, "
           f"{system.num_transitions} transitions -> {args.out}")
+    if stats is not None:
+        _emit_stats(args, {"explore": stats})
     return 0
 
 
 def cmd_quotient(args) -> int:
     bench, _workload, config = _bench_and_config(args)
-    system = explore(bench.build(args.threads), config)
-    quotient = quotient_lts(system, branching_partition(system))
+    stats = Stats() if _wants_stats(args) else None
+    system = explore(bench.build(args.threads), config, stats=stats)
+    with stage(stats, "quotient"):
+        quotient = quotient_lts(system, branching_partition(system, stats=stats))
+        if stats is not None:
+            stats.count("impl_states", quotient.lts.num_states)
     write_aut(quotient.lts, args.out)
     print(f"{bench.key}: {system.num_states} states -> quotient "
           f"{quotient.lts.num_states} states -> {args.out}")
@@ -141,20 +195,31 @@ def cmd_quotient(args) -> int:
     )
     if essential:
         print("essential internal steps:", ", ".join(essential))
+    if stats is not None:
+        _emit_stats(args, {"quotient": stats})
     return 0
 
 
 def cmd_compare(args) -> int:
-    left = read_aut(args.left)
-    right = read_aut(args.right)
+    stats = Stats() if _wants_stats(args) else None
+    with stage(stats, "parse"):
+        left = read_aut(args.left)
+        right = read_aut(args.right)
+        if stats is not None:
+            stats.count("states", left.num_states + right.num_states)
+            stats.count(
+                "transitions", left.num_transitions + right.num_transitions
+            )
     if args.relation == "trace":
-        forward = trace_refines(left, right)
-        backward = trace_refines(right, left)
+        forward = trace_refines(left, right, stats=stats)
+        backward = trace_refines(right, left, stats=stats)
         print(f"{args.left} refines {args.right}: {forward.holds}")
         print(f"{args.right} refines {args.left}: {backward.holds}")
         for result in (forward, backward):
             if not result.holds:
                 print(result.render_counterexample())
+        if stats is not None:
+            _emit_stats(args, {"compare": stats})
         return 0 if (forward.holds and backward.holds) else 1
     compare = {
         "branching": compare_branching,
@@ -162,15 +227,17 @@ def cmd_compare(args) -> int:
         "strong": compare_strong,
     }[args.relation]
     if args.relation == "branching":
-        outcome = compare(left, right, divergence=args.divergence)
+        outcome = compare(left, right, divergence=args.divergence, stats=stats)
     else:
-        outcome = compare(left, right)
+        outcome = compare(left, right, stats=stats)
     name = args.relation + ("-divergence" if args.divergence else "")
     print(f"{name} bisimilar: {outcome.equivalent}")
     if not outcome.equivalent and args.relation == "branching":
         explanation = explain_inequivalence(left, right, divergence=args.divergence)
         if explanation:
             print(explanation.render())
+    if stats is not None:
+        _emit_stats(args, {"compare": stats})
     return 0 if outcome.equivalent else 1
 
 
@@ -193,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify = commands.add_parser("verify", help="verify one benchmark")
     verify.add_argument("key", choices=sorted(BENCHMARKS))
     _add_bounds(verify)
+    _add_stats(verify)
 
     for name, help_text in (
         ("explore", "export the object system as .aut"),
@@ -202,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("key", choices=sorted(BENCHMARKS))
         sub.add_argument("--out", required=True)
         _add_bounds(sub)
+        _add_stats(sub)
 
     compare = commands.add_parser("compare", help="compare two .aut files")
     compare.add_argument("left")
@@ -211,6 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="branching",
     )
     compare.add_argument("--divergence", action="store_true")
+    _add_stats(compare)
 
     commands.add_parser("bugs", help="re-run the paper's bug hunts")
     return parser

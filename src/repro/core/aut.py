@@ -12,9 +12,23 @@ Format::
     ...
 
 Labels: the silent action is written ``i`` (CADP's convention; ``tau``
-and ``"tau"`` are accepted on input).  Structured labels (the
-``("call", t, m, args)`` tuples) are rendered like CADP gate offers --
-``CALL !1 !enq !(1,)`` -- and parsed back to the same tuples.
+is accepted on input).  Structured labels (the ``("call", t, m, args)``
+tuples) are rendered like CADP gate offers -- ``CALL !1 !enq !(1,)`` --
+and parsed back to the same tuples.
+
+Rendering and parsing are exact inverses: a label whose natural
+rendering would be misread on input -- a plain string label ``"i"`` or
+``"tau"`` (which would come back as the silent action), a label
+containing ``!`` or ``"``, surrounding whitespace, or a tuple whose
+gate-offer form is ambiguous -- is written as a quoted Python literal
+(``"'i'"``) and restored verbatim by :func:`parse_label`.  The file
+layer escapes ``"`` and ``\\`` inside label fields instead of the
+lossy quote-to-apostrophe rewrite used previously.
+
+:func:`read_aut` validates the header: transitions whose endpoints are
+not below the declared state count, and an initial state out of range,
+raise :class:`ValueError` naming the offending line (previously the
+LTS silently grew extra states).
 """
 
 from __future__ import annotations
@@ -24,18 +38,38 @@ import io
 import re
 from typing import Any, Hashable, List, TextIO, Tuple, Union
 
-from .lts import LTS, TAU, TAU_ID
+from .lts import LTS, TAU
+
+#: Plain-text spellings parsed as the silent action.
+_TAU_SPELLINGS = ("i", "tau", "I")
 
 
 def render_label(label: Hashable) -> str:
-    """Render an action label as an AUT label string."""
+    """Render an action label as an AUT label string.
+
+    Guaranteed inverse of :func:`parse_label` for the silent action,
+    strings, and (nested) tuples of strings / literals: if the natural
+    rendering would not parse back to ``label``, a quoted-literal form
+    is emitted instead.
+    """
     if label == TAU:
         return "i"
+    text = _render_plain(label)
+    try:
+        if parse_label(text) == label:
+            return text
+    except ValueError:
+        pass
+    return _quote(repr(label))
+
+
+def _render_plain(label: Hashable) -> str:
+    """The natural (possibly ambiguous) rendering of a label."""
     if isinstance(label, tuple) and label and isinstance(label[0], str):
         head = str(label[0]).upper()
         offers = " ".join(f"!{_render_offer(part)}" for part in label[1:])
         return f"{head} {offers}".strip()
-    return str(label)
+    return label if isinstance(label, str) else str(label)
 
 
 def _render_offer(part: Any) -> str:
@@ -44,11 +78,37 @@ def _render_offer(part: Any) -> str:
     return repr(part)
 
 
+def _quote(text: str) -> str:
+    """Wrap label text in quotes, escaping backslashes and quotes."""
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def _unescape(text: str) -> str:
+    """Undo :func:`_quote`'s escaping (without the surrounding quotes)."""
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "\\" and i + 1 < len(text):
+            out.append(text[i + 1])
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
 def parse_label(text: str) -> Hashable:
     """Parse an AUT label string back into an action label."""
     text = text.strip()
-    if text in ("i", "tau", '"tau"', "I"):
+    if text in _TAU_SPELLINGS:
         return TAU
+    if len(text) >= 2 and text.startswith('"') and text.endswith('"'):
+        inner = _unescape(text[1:-1])
+        try:
+            return ast.literal_eval(inner)
+        except (ValueError, SyntaxError):
+            return inner
     if "!" in text:
         head, *offers = [part.strip() for part in text.split("!")]
         parts: List[Any] = [head.lower()]
@@ -74,10 +134,15 @@ def write_aut(lts: LTS, target: Union[str, TextIO]) -> None:
     target.write(
         f"des ({lts.init}, {lts.num_transitions}, {lts.num_states})\n"
     )
+    # Labels are interned; render each action id once.
+    rendered: List[str] = [""] * lts.num_actions
+    done = [False] * lts.num_actions
     for src, aid, dst in lts.transitions():
-        label = render_label(lts.action_labels[aid])
-        escaped = label.replace('"', "'")
-        target.write(f'({src}, "{escaped}", {dst})\n')
+        if not done[aid]:
+            label = render_label(lts.action_labels[aid])
+            rendered[aid] = label.replace("\\", "\\\\").replace('"', '\\"')
+            done[aid] = True
+        target.write(f'({src}, "{rendered[aid]}", {dst})\n')
 
 
 def dumps_aut(lts: LTS) -> str:
@@ -92,28 +157,52 @@ _EDGE = re.compile(r'\(\s*(\d+)\s*,\s*(".*"|[^,]*?)\s*,\s*(\d+)\s*\)\s*$')
 
 
 def read_aut(source: Union[str, TextIO]) -> LTS:
-    """Read an LTS in Aldebaran format from a path or file object."""
+    """Read an LTS in Aldebaran format from a path or file object.
+
+    Raises :class:`ValueError` (naming the offending line) on a
+    malformed header or transition, on a transition whose endpoints are
+    not below the header's declared state count, on an out-of-range
+    initial state, and on a transition-count mismatch.
+    """
     if isinstance(source, str):
         with open(source) as handle:
             return read_aut(handle)
-    lines = [line.strip() for line in source if line.strip()]
+    lines = [
+        (lineno, stripped)
+        for lineno, line in enumerate(source, start=1)
+        if (stripped := line.strip())
+    ]
     if not lines:
         raise ValueError("empty AUT input")
-    header = _HEADER.match(lines[0])
+    first_lineno, first = lines[0]
+    header = _HEADER.match(first)
     if not header:
-        raise ValueError(f"bad AUT header: {lines[0]!r}")
+        raise ValueError(f"line {first_lineno}: bad AUT header: {first!r}")
     init, num_transitions, num_states = (int(g) for g in header.groups())
+    if init >= num_states:
+        raise ValueError(
+            f"line {first_lineno}: AUT header's initial state {init} is out "
+            f"of range (declared {num_states} states)"
+        )
     lts = LTS()
     lts.add_states(num_states)
     lts.init = init
-    for line in lines[1:]:
+    for lineno, line in lines[1:]:
         edge = _EDGE.match(line)
         if not edge:
-            raise ValueError(f"bad AUT transition: {line!r}")
-        src, label_text, dst = edge.groups()
-        if label_text.startswith('"') and label_text.endswith('"'):
-            label_text = label_text[1:-1]
-        lts.add_transition(int(src), parse_label(label_text), int(dst))
+            raise ValueError(f"line {lineno}: bad AUT transition: {line!r}")
+        src_text, label_text, dst_text = edge.groups()
+        src, dst = int(src_text), int(dst_text)
+        if src >= num_states or dst >= num_states:
+            raise ValueError(
+                f"line {lineno}: AUT transition endpoint out of range "
+                f"(declared {num_states} states): {line!r}"
+            )
+        if label_text.startswith('"') and label_text.endswith('"') and len(label_text) >= 2:
+            label_text = _unescape(label_text[1:-1])
+        # Intern explicitly: add_transition would misread a small-int
+        # label (e.g. a parsed literal ``3``) as an action *id*.
+        lts.add_transition(src, lts.action_id(parse_label(label_text)), dst)
     if lts.num_transitions != num_transitions:
         raise ValueError(
             f"AUT header promises {num_transitions} transitions, "

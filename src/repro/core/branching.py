@@ -21,11 +21,14 @@ bisimulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from .graphs import tarjan_scc
 from .lts import LTS, TAU_ID, disjoint_union
-from .partition import BlockMap, refine_to_fixpoint
+from .partition import BlockMap, num_blocks, refine_to_fixpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..util.metrics import Stats
 
 #: Marker added to the signature of partition-relative divergent states.
 DIVERGENCE_MARK = ("__divergent__",)
@@ -77,17 +80,27 @@ def branching_partition(
     lts: LTS,
     divergence: bool = False,
     initial: Optional[BlockMap] = None,
+    stats: Optional["Stats"] = None,
 ) -> BlockMap:
     """Partition of the states of ``lts`` under branching bisimilarity.
 
     With ``divergence=True`` the partition is that of divergence-
-    sensitive branching bisimilarity (Definition 5.5).
+    sensitive branching bisimilarity (Definition 5.5).  An optional
+    :class:`~repro.util.metrics.Stats` sink times the refinement and
+    counts sweeps/splits; without one the code path is unchanged.
     """
-    return refine_to_fixpoint(
-        lts.num_states,
-        lambda block_of: _branching_signatures_ordered(lts, block_of, divergence),
-        initial=initial,
-    )
+
+    def signature_fn(block_of: BlockMap):
+        return _branching_signatures_ordered(lts, block_of, divergence)
+
+    if stats is None:
+        return refine_to_fixpoint(lts.num_states, signature_fn, initial=initial)
+    with stats.stage("refinement"):
+        block_of = refine_to_fixpoint(
+            lts.num_states, signature_fn, initial=initial, stats=stats
+        )
+        stats.count("blocks", num_blocks(block_of))
+    return block_of
 
 
 @dataclass
@@ -113,14 +126,19 @@ class Comparison:
     init_b: int
 
 
-def compare_branching(a: LTS, b: LTS, divergence: bool = False) -> Comparison:
+def compare_branching(
+    a: LTS,
+    b: LTS,
+    divergence: bool = False,
+    stats: Optional["Stats"] = None,
+) -> Comparison:
     """Decide ``a ~ b`` for (divergence-sensitive) branching bisimilarity.
 
     Two object systems are branching bisimilar iff their initial states
     are related in the disjoint union (Section IV / Definition 5.5).
     """
     union, init_a, init_b = disjoint_union(a, b)
-    block_of = branching_partition(union, divergence=divergence)
+    block_of = branching_partition(union, divergence=divergence, stats=stats)
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],
         union=union,

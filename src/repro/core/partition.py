@@ -12,7 +12,10 @@ signature function (Blom & Orzan's signature-refinement scheme).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..util.metrics import Stats
 
 #: A partition is represented as a dense block index per state.
 BlockMap = List[int]
@@ -102,24 +105,35 @@ def refine_to_fixpoint(
     signature_fn: SignatureFn,
     initial: Optional[BlockMap] = None,
     max_sweeps: Optional[int] = None,
+    stats: Optional["Stats"] = None,
 ) -> BlockMap:
     """Iterate :func:`refine_step` until the partition is stable.
 
     ``signature_fn`` receives the current partition and must return one
     hashable signature per state.  The result is the coarsest partition
     refining ``initial`` in which equal blocks carry equal signatures.
+
+    ``stats``, when given, receives the ``sweeps``/``splits``/``states``
+    counters after the fixpoint is reached; the refinement loop itself
+    is identical either way.
     """
     if n == 0:
         return []
     block_of = normalize(initial) if initial is not None else [0] * n
     if len(block_of) != n:
         raise ValueError("initial partition has wrong length")
+    start_blocks = num_blocks(block_of)
     sweeps = 0
     while True:
         signatures = signature_fn(block_of)
         block_of, changed = refine_step(block_of, signatures)
         sweeps += 1
         if not changed:
-            return block_of
+            break
         if max_sweeps is not None and sweeps >= max_sweeps:
-            return block_of
+            break
+    if stats is not None:
+        stats.count("states", n)
+        stats.count("sweeps", sweeps)
+        stats.count("splits", num_blocks(block_of) - start_blocks)
+    return block_of

@@ -8,11 +8,14 @@ the base case in tests relating the three bisimulations.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from .lts import LTS, disjoint_union
-from .partition import BlockMap, refine_to_fixpoint
+from .partition import BlockMap, num_blocks, refine_to_fixpoint
 from .branching import Comparison
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..util.metrics import Stats
 
 
 def _strong_signatures(lts: LTS, block_of: BlockMap):
@@ -23,19 +26,30 @@ def _strong_signatures(lts: LTS, block_of: BlockMap):
     return [frozenset(sig) for sig in sigs]
 
 
-def strong_partition(lts: LTS, initial: Optional[BlockMap] = None) -> BlockMap:
+def strong_partition(
+    lts: LTS,
+    initial: Optional[BlockMap] = None,
+    stats: Optional["Stats"] = None,
+) -> BlockMap:
     """Partition of the states of ``lts`` under strong bisimilarity."""
-    return refine_to_fixpoint(
-        lts.num_states,
-        lambda block_of: _strong_signatures(lts, block_of),
-        initial=initial,
-    )
+
+    def signature_fn(block_of: BlockMap):
+        return _strong_signatures(lts, block_of)
+
+    if stats is None:
+        return refine_to_fixpoint(lts.num_states, signature_fn, initial=initial)
+    with stats.stage("refinement"):
+        block_of = refine_to_fixpoint(
+            lts.num_states, signature_fn, initial=initial, stats=stats
+        )
+        stats.count("blocks", num_blocks(block_of))
+    return block_of
 
 
-def compare_strong(a: LTS, b: LTS) -> Comparison:
+def compare_strong(a: LTS, b: LTS, stats: Optional["Stats"] = None) -> Comparison:
     """Decide whether two LTSs are strongly bisimilar."""
     union, init_a, init_b = disjoint_union(a, b)
-    block_of = strong_partition(union)
+    block_of = strong_partition(union, stats=stats)
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],
         union=union,

@@ -17,11 +17,25 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from .graphs import reachability_closure
 from .lts import LTS, TAU_ID
 from .partition import BlockMap, partition_from_key, refine_to_fixpoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..util.metrics import Stats
 
 
 def state_tau_closures(lts: LTS) -> List[frozenset]:
@@ -57,7 +71,9 @@ class RefinementResult:
         return "\n".join(lines)
 
 
-def trace_refines(impl: LTS, spec: LTS) -> RefinementResult:
+def trace_refines(
+    impl: LTS, spec: LTS, stats: Optional["Stats"] = None
+) -> RefinementResult:
     """Decide ``impl ⊑_tr spec`` (Definition 2.2), with counterexample.
 
     Both systems must use structurally equal visible action labels.
@@ -66,7 +82,20 @@ def trace_refines(impl: LTS, spec: LTS) -> RefinementResult:
     implementation step with no specification match is a violation.
     Pairs ``(s, Q)`` subsumed by an already-visited ``(s, Q')`` with
     ``Q' ⊆ Q`` are pruned (antichain optimization).
+
+    ``stats`` (optional) records the antichain size and visited-pair
+    count under a ``check`` stage; the search loop is untouched --
+    everything is derived after it finishes.
     """
+    if stats is None:
+        return _trace_refines(impl, spec, None)
+    with stats.stage("check"):
+        return _trace_refines(impl, spec, stats)
+
+
+def _trace_refines(
+    impl: LTS, spec: LTS, stats: Optional["Stats"]
+) -> RefinementResult:
     spec_closures = state_tau_closures(spec)
 
     # Specification visible steps, indexed by (state, impl action id).
@@ -133,6 +162,8 @@ def trace_refines(impl: LTS, spec: LTS) -> RefinementResult:
                         trace.append(step_label)
                     cursor = parent
                 trace.reverse()
+                if stats is not None:
+                    _count_refinement(stats, visited, parents)
                 return RefinementResult(holds=False, counterexample=trace)
             succ = (dst, new_set)
             if subsumed(dst, new_set):
@@ -140,7 +171,15 @@ def trace_refines(impl: LTS, spec: LTS) -> RefinementResult:
             record(dst, new_set)
             parents[succ] = (node, label)
             queue.append(succ)
+    if stats is not None:
+        _count_refinement(stats, visited, parents)
     return RefinementResult(holds=True)
+
+
+def _count_refinement(stats: "Stats", visited: Dict, parents: Dict) -> None:
+    """Post-search bookkeeping for :func:`trace_refines` (never in-loop)."""
+    stats.count("visited_pairs", len(parents))
+    stats.count("antichain_size", sum(len(chain) for chain in visited.values()))
 
 
 def trace_equivalent(a: LTS, b: LTS) -> bool:

@@ -16,12 +16,15 @@ via SCC condensation and reused across sweeps.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from .graphs import tarjan_scc
 from .lts import LTS, TAU_ID, disjoint_union
-from .partition import BlockMap, refine_to_fixpoint
+from .partition import BlockMap, num_blocks, refine_to_fixpoint
 from .branching import Comparison, DIVERGENCE_MARK
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..util.metrics import Stats
 
 
 def tau_closures(lts: LTS) -> List[frozenset]:
@@ -100,35 +103,50 @@ def weak_partition(
     lts: LTS,
     divergence: bool = False,
     initial: Optional[BlockMap] = None,
+    stats: Optional["Stats"] = None,
 ) -> BlockMap:
     """Partition of the states of ``lts`` under weak bisimilarity.
 
     With ``divergence=True`` this is weak bisimulation with explicit
     divergence (the variant mentioned alongside Table VII).
     """
-    closures = tau_closures(lts)
-    weak_steps = _weak_step_sets(lts, closures)
-    n = lts.num_states
 
-    def signatures(block_of: BlockMap):
-        marks = _divergence_marks(lts, block_of) if divergence else None
-        sigs = []
-        for state in range(n):
-            acc = {(aid, block_of[target]) for aid, target in weak_steps[state]}
-            for target in closures[state]:
-                acc.add((TAU_ID, block_of[target]))
-            if marks is not None and marks[state]:
-                acc.add(DIVERGENCE_MARK)
-            sigs.append(frozenset(acc))
-        return sigs
+    def run() -> BlockMap:
+        closures = tau_closures(lts)
+        weak_steps = _weak_step_sets(lts, closures)
+        n = lts.num_states
 
-    return refine_to_fixpoint(n, signatures, initial=initial)
+        def signatures(block_of: BlockMap):
+            marks = _divergence_marks(lts, block_of) if divergence else None
+            sigs = []
+            for state in range(n):
+                acc = {(aid, block_of[target]) for aid, target in weak_steps[state]}
+                for target in closures[state]:
+                    acc.add((TAU_ID, block_of[target]))
+                if marks is not None and marks[state]:
+                    acc.add(DIVERGENCE_MARK)
+                sigs.append(frozenset(acc))
+            return sigs
+
+        return refine_to_fixpoint(n, signatures, initial=initial, stats=stats)
+
+    if stats is None:
+        return run()
+    with stats.stage("refinement"):
+        block_of = run()
+        stats.count("blocks", num_blocks(block_of))
+    return block_of
 
 
-def compare_weak(a: LTS, b: LTS, divergence: bool = False) -> Comparison:
+def compare_weak(
+    a: LTS,
+    b: LTS,
+    divergence: bool = False,
+    stats: Optional["Stats"] = None,
+) -> Comparison:
     """Decide whether two LTSs are weakly bisimilar."""
     union, init_a, init_b = disjoint_union(a, b)
-    block_of = weak_partition(union, divergence=divergence)
+    block_of = weak_partition(union, divergence=divergence, stats=stats)
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],
         union=union,

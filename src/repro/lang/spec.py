@@ -12,11 +12,14 @@ implementation, which is what both the trace-refinement check
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..core.lts import LTS, LTSBuilder, TAU
 from .client import StateExplosion, Workload
 from .state import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..util.metrics import Stats
 
 #: A sequential method: ``(state, args) -> [(new_state, return_value), ...]``.
 #: Multiple results model specification-level nondeterminism.
@@ -53,8 +56,30 @@ def spec_lts(
     ops_per_thread: int,
     workload: Workload,
     max_states: Optional[int] = None,
+    stats: Optional["Stats"] = None,
 ) -> LTS:
-    """The linearizable specification LTS under the most general client."""
+    """The linearizable specification LTS under the most general client.
+
+    ``stats`` (optional) times the generation under a ``spec`` stage and
+    records state/transition counts; the generation loop is shared with
+    the uninstrumented path.
+    """
+    if stats is None:
+        return _spec_lts(spec, num_threads, ops_per_thread, workload, max_states)
+    with stats.stage("spec"):
+        lts = _spec_lts(spec, num_threads, ops_per_thread, workload, max_states)
+        stats.count("states", lts.num_states)
+        stats.count("transitions", lts.num_transitions)
+    return lts
+
+
+def _spec_lts(
+    spec: SpecObject,
+    num_threads: int,
+    ops_per_thread: int,
+    workload: Workload,
+    max_states: Optional[int] = None,
+) -> LTS:
     if not workload:
         raise ModelError("empty workload: nothing for the client to invoke")
     for mname, _args in workload:

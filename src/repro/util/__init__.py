@@ -1,5 +1,6 @@
-"""Small utilities shared by benches and examples."""
+"""Small utilities shared by benches, examples and the CLI."""
 
+from .metrics import Stats, peak_rss_kb, stage
 from .tables import check, render_table
 
-__all__ = ["check", "render_table"]
+__all__ = ["Stats", "check", "peak_rss_kb", "render_table", "stage"]

@@ -24,6 +24,7 @@ from ..core import (
 )
 from ..lang import ClientConfig, ObjectProgram, SpecObject, explore, spec_lts
 from ..lang.client import Workload
+from ..util.metrics import Stats, stage
 
 
 @dataclass
@@ -47,6 +48,8 @@ class LinearizabilityResult:
     explore_seconds: float
     quotient_seconds: float
     refinement_seconds: float
+    #: The metrics sink the pipeline recorded into (None when disabled).
+    stats: Optional[Stats] = None
 
     @property
     def reduction_factor(self) -> float:
@@ -76,12 +79,18 @@ def check_linearizability(
     ops_per_thread: int = 2,
     workload: Optional[Workload] = None,
     max_states: Optional[int] = None,
+    stats: Optional[Stats] = None,
 ) -> LinearizabilityResult:
     """Run the full Theorem 5.3 pipeline for one object.
 
     Generates the object system and the specification system under the
     same most-general client, quotients both under branching
     bisimilarity, and checks trace refinement between the quotients.
+
+    With a :class:`~repro.util.metrics.Stats` sink the pipeline records
+    ``explore`` / ``spec`` / ``quotient`` (with a nested ``refinement``)
+    / ``check`` stages plus state, transition and sweep counters; the
+    sink is attached to the result as ``result.stats``.
     """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
@@ -92,15 +101,22 @@ def check_linearizability(
         max_states=max_states,
     )
     t0 = time.perf_counter()
-    impl = explore(program, config)
+    impl = explore(program, config, stats=stats)
     spec_system = spec_lts(
-        spec, num_threads, ops_per_thread, workload, max_states=max_states
+        spec, num_threads, ops_per_thread, workload, max_states=max_states,
+        stats=stats,
     )
     t1 = time.perf_counter()
-    impl_quotient = quotient_lts(impl, branching_partition(impl))
-    spec_quotient = quotient_lts(spec_system, branching_partition(spec_system))
+    with stage(stats, "quotient"):
+        impl_quotient = quotient_lts(impl, branching_partition(impl, stats=stats))
+        spec_quotient = quotient_lts(
+            spec_system, branching_partition(spec_system, stats=stats)
+        )
+        if stats is not None:
+            stats.count("impl_states", impl_quotient.lts.num_states)
+            stats.count("spec_states", spec_quotient.lts.num_states)
     t2 = time.perf_counter()
-    refinement = trace_refines(impl_quotient.lts, spec_quotient.lts)
+    refinement = trace_refines(impl_quotient.lts, spec_quotient.lts, stats=stats)
     t3 = time.perf_counter()
     return LinearizabilityResult(
         object_name=program.name,
@@ -115,4 +131,5 @@ def check_linearizability(
         explore_seconds=t1 - t0,
         quotient_seconds=t2 - t1,
         refinement_seconds=t3 - t2,
+        stats=stats,
     )

@@ -30,6 +30,7 @@ from ..core import (
 )
 from ..lang import ClientConfig, ObjectProgram, explore
 from ..lang.client import Workload
+from ..util.metrics import Stats, stage
 
 
 @dataclass
@@ -44,6 +45,8 @@ class LockFreedomResult:
     ops_per_thread: int
     diagnostic: Optional[Lasso]
     seconds: float
+    #: The metrics sink the pipeline recorded into (None when disabled).
+    stats: Optional[Stats] = None
 
     def render_diagnostic(self) -> str:
         if self.diagnostic is None:
@@ -58,6 +61,7 @@ def check_lock_freedom_auto(
     workload: Optional[Workload] = None,
     max_states: Optional[int] = None,
     method: str = "union",
+    stats: Optional[Stats] = None,
 ) -> LockFreedomResult:
     """Theorem 5.9: fully automatic lock-freedom check.
 
@@ -89,13 +93,19 @@ def check_lock_freedom_auto(
         max_states=max_states,
     )
     t0 = time.perf_counter()
-    impl = explore(program, config)
-    quotient = quotient_lts(impl, branching_partition(impl))
-    if method == "union":
-        comparison = compare_branching(impl, quotient.lts, divergence=True)
-        lock_free = comparison.equivalent
-    else:
-        lock_free = not tau_cycle_states(impl)
+    impl = explore(program, config, stats=stats)
+    with stage(stats, "quotient"):
+        quotient = quotient_lts(impl, branching_partition(impl, stats=stats))
+        if stats is not None:
+            stats.count("impl_states", quotient.lts.num_states)
+    with stage(stats, "check"):
+        if method == "union":
+            comparison = compare_branching(
+                impl, quotient.lts, divergence=True, stats=stats
+            )
+            lock_free = comparison.equivalent
+        else:
+            lock_free = not tau_cycle_states(impl)
     diagnostic = None if lock_free else find_divergence_lasso(impl)
     seconds = time.perf_counter() - t0
     return LockFreedomResult(
@@ -107,6 +117,7 @@ def check_lock_freedom_auto(
         ops_per_thread=ops_per_thread,
         diagnostic=diagnostic,
         seconds=seconds,
+        stats=stats,
     )
 
 
@@ -123,6 +134,8 @@ class AbstractLockFreedomResult:
     num_threads: int
     ops_per_thread: int
     seconds: float
+    #: The metrics sink the pipeline recorded into (None when disabled).
+    stats: Optional[Stats] = None
 
     @property
     def lock_free(self) -> Optional[bool]:
@@ -139,6 +152,7 @@ def check_lock_freedom_abstract(
     ops_per_thread: int = 2,
     workload: Optional[Workload] = None,
     max_states: Optional[int] = None,
+    stats: Optional[Stats] = None,
 ) -> AbstractLockFreedomResult:
     """Theorem 5.8: prove ``concrete ~div abstract``, check the abstract.
 
@@ -154,12 +168,15 @@ def check_lock_freedom_abstract(
         max_states=max_states,
     )
     t0 = time.perf_counter()
-    concrete = explore(program, config)
-    abstract_system = explore(abstract, config)
-    comparison = compare_branching(concrete, abstract_system, divergence=True)
-    abstract_lock_free: Optional[bool] = None
-    if comparison.equivalent:
-        abstract_lock_free = not tau_cycle_states(abstract_system)
+    concrete = explore(program, config, stats=stats)
+    abstract_system = explore(abstract, config, stats=stats)
+    with stage(stats, "check"):
+        comparison = compare_branching(
+            concrete, abstract_system, divergence=True, stats=stats
+        )
+        abstract_lock_free: Optional[bool] = None
+        if comparison.equivalent:
+            abstract_lock_free = not tau_cycle_states(abstract_system)
     seconds = time.perf_counter() - t0
     return AbstractLockFreedomResult(
         object_name=program.name,
@@ -171,4 +188,5 @@ def check_lock_freedom_abstract(
         num_threads=num_threads,
         ops_per_thread=ops_per_thread,
         seconds=seconds,
+        stats=stats,
     )

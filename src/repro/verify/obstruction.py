@@ -39,6 +39,7 @@ from ..core.graphs import tarjan_scc
 from ..core.lts import LTS, TAU_ID
 from ..lang import ClientConfig, ObjectProgram, explore
 from ..lang.client import Workload
+from ..util.metrics import Stats, stage
 
 
 def transition_thread(lts: LTS, aid: int, annotation) -> Optional[int]:
@@ -128,6 +129,8 @@ class ObstructionFreedomResult:
     spinning_thread: Optional[int]
     diagnostic: Optional[Lasso]
     seconds: float
+    #: The metrics sink the pipeline recorded into (None when disabled).
+    stats: Optional[Stats] = None
 
     def render_diagnostic(self) -> str:
         if self.diagnostic is None:
@@ -144,6 +147,7 @@ def check_obstruction_freedom(
     ops_per_thread: int = 2,
     workload: Optional[Workload] = None,
     max_states: Optional[int] = None,
+    stats: Optional[Stats] = None,
 ) -> ObstructionFreedomResult:
     """Check obstruction-freedom of a (non-blocking) object program."""
     if workload is None:
@@ -155,22 +159,23 @@ def check_obstruction_freedom(
         max_states=max_states,
     )
     start = time.perf_counter()
-    impl = explore(program, config)
+    impl = explore(program, config, stats=stats)
     spinning_thread: Optional[int] = None
     diagnostic: Optional[Lasso] = None
-    for tid in range(1, num_threads + 1):
-        on_cycle = set(solo_tau_cycle_states(impl, tid))
-        if not on_cycle:
-            continue
-        stem = _shortest_path(impl, [impl.init], on_cycle)
-        if stem is None:
-            continue  # unreachable solo cycle
-        spinning_thread = tid
-        entry = stem[-1].dst if stem else impl.init
-        if entry not in on_cycle:
-            entry = impl.init
-        diagnostic = Lasso(stem=stem, cycle=_solo_cycle_from(impl, entry, tid))
-        break
+    with stage(stats, "check"):
+        for tid in range(1, num_threads + 1):
+            on_cycle = set(solo_tau_cycle_states(impl, tid))
+            if not on_cycle:
+                continue
+            stem = _shortest_path(impl, [impl.init], on_cycle)
+            if stem is None:
+                continue  # unreachable solo cycle
+            spinning_thread = tid
+            entry = stem[-1].dst if stem else impl.init
+            if entry not in on_cycle:
+                entry = impl.init
+            diagnostic = Lasso(stem=stem, cycle=_solo_cycle_from(impl, entry, tid))
+            break
     return ObstructionFreedomResult(
         object_name=program.name,
         obstruction_free=spinning_thread is None,
@@ -180,4 +185,5 @@ def check_obstruction_freedom(
         spinning_thread=spinning_thread,
         diagnostic=diagnostic,
         seconds=time.perf_counter() - start,
+        stats=stats,
     )

@@ -34,8 +34,46 @@ def test_parse_label_round_trip():
 
 
 def test_parse_tau_variants():
-    for text in ("i", "tau", '"tau"'):
+    for text in ("i", "tau", "I"):
         assert parse_label(text) == TAU
+
+
+def test_quoted_tau_spelling_is_the_string():
+    # A *quoted* "tau"/"i" field is a visible label spelled that way --
+    # only the bare CADP spellings denote the silent action.  (read_aut
+    # strips the field's outer quotes before parse_label, so CADP files
+    # writing (0, "tau", 1) still get the silent action.)
+    assert parse_label('"\'tau\'"') == "tau"
+    assert parse_label('"\'i\'"') == "i"
+
+
+def test_visible_label_i_survives_round_trip():
+    # Regression: a visible action literally labelled "i" (or "I") used
+    # to be rendered bare and silently become the silent action after a
+    # round trip.  ("tau" is interned as the silent action by the LTS
+    # layer itself, so only render/parse inversion is checked for it.)
+    for label in ("i", "tau", "I"):
+        rendered = render_label(label)
+        assert parse_label(rendered) == label
+    for label in ("i", "I"):
+        lts = make_lts(2, 0, [(0, label, 1)])
+        back = loads_aut(dumps_aut(lts))
+        restored = {
+            (s, back.action_labels[a], d) for s, a, d in back.transitions()
+        }
+        assert restored == {(0, label, 1)}
+
+
+def test_quote_and_bang_labels_survive_round_trip():
+    # Regression: write_aut rewrote '"' to "'" (lossy), and labels
+    # containing '!' were misparsed as gate offers on the way back.
+    labels = ['quo"te', "a!b", ' padded ', "", 'back\\slash', '"tau"']
+    lts = make_lts(len(labels) + 1, 0,
+                   [(k, label, k + 1) for k, label in enumerate(labels)])
+    back = loads_aut(dumps_aut(lts))
+    original = {(s, lts.action_labels[a], d) for s, a, d in lts.transitions()}
+    restored = {(s, back.action_labels[a], d) for s, a, d in back.transitions()}
+    assert original == restored
 
 
 def test_dump_format():
@@ -89,3 +127,17 @@ def test_errors():
         loads_aut('des (0, 1, 2)\ngarbage')
     with pytest.raises(ValueError):
         loads_aut('des (0, 5, 2)\n(0, "a", 1)')  # count mismatch
+
+
+def test_out_of_range_transition_endpoint_rejected():
+    # Regression: endpoints >= the declared state count used to grow
+    # the LTS silently instead of failing.
+    with pytest.raises(ValueError, match=r"line 2.*out of range.*2 states"):
+        loads_aut('des (0, 1, 2)\n(0, "a", 5)')
+    with pytest.raises(ValueError, match=r"line 3.*out of range"):
+        loads_aut('des (0, 2, 2)\n(0, "a", 1)\n(7, "b", 0)')
+
+
+def test_out_of_range_initial_state_rejected():
+    with pytest.raises(ValueError, match=r"line 1.*initial state 4.*2 states"):
+        loads_aut('des (4, 0, 2)')

@@ -10,9 +10,13 @@ not exhibit it, which is precisely what hazard pointers are for.
 
 from collections import Counter
 
+import pytest
+
 from repro.objects import get
 from repro.objects.treiber import build_manual_reclamation
 from repro.verify import check_linearizability
+
+pytestmark = pytest.mark.slow
 
 WORKLOAD = [("push", (1,)), ("push", (2,)), ("pop", ())]
 BUDGETS = (2, 3)

@@ -7,6 +7,8 @@ from repro.lang import ClientConfig, explore
 from repro.objects import get
 from repro.verify import check_lock_freedom_abstract
 
+pytestmark = pytest.mark.slow
+
 ABSTRACTED = ["ms_queue", "dglm_queue", "ccas", "rdcss"]
 
 

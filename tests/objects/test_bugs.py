@@ -1,11 +1,14 @@
 """The paper's two bug hunts (Section VI.F), reproduced as tests."""
 
+import pytest
+
 from repro.core import find_divergence_lasso, tau_cycle_states
 from repro.lang import ClientConfig, explore
 from repro.objects import get
 from repro.verify import check_lock_freedom_auto, check_linearizability
 
 
+@pytest.mark.slow
 def test_hm_list_double_remove_counterexample():
     """Known linearizability bug: the same item removed twice."""
     bench = get("hm_list_buggy")
@@ -36,6 +39,7 @@ def test_hm_list_double_remove_counterexample():
     assert min(balance.values()) < 0
 
 
+@pytest.mark.slow
 def test_revised_treiber_hp_divergence():
     """New lock-freedom bug in the revised Treiber+HP stack of [10]."""
     bench = get("treiber_hp_buggy")

@@ -43,6 +43,7 @@ def test_two_lock_queue_allows_concurrent_enq_deq():
     assert any(l[0] == "ret" and l[2] == "deq" for l in labels)
 
 
+@pytest.mark.slow
 def test_tagged_treiber_fixes_the_aba_bug():
     """Same manual-free reclamation as the ABA-broken variant, same
     workload and budgets -- but version tags make it linearizable."""
@@ -55,6 +56,7 @@ def test_tagged_treiber_fixes_the_aba_bug():
     assert result.linearizable
 
 
+@pytest.mark.slow
 def test_tagged_treiber_is_lock_free_and_obstruction_free():
     bench = EXTRAS["tagged_treiber"]
     lock = check_lock_freedom_auto(

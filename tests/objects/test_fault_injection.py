@@ -5,6 +5,8 @@ slip a programmer makes) and asserts the pipelines detect each fault.
 This guards against the checkers silently passing everything.
 """
 
+import pytest
+
 from repro.lang import (
     Alloc,
     CasGlobal,
@@ -57,6 +59,7 @@ def test_push_without_cas_is_not_linearizable():
     assert not result.linearizable
 
 
+@pytest.mark.slow
 def test_enqueue_skipping_validation_still_linearizable_but_detectable():
     """MS dequeue with the L21 validation removed.
 

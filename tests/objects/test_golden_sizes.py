@@ -14,6 +14,8 @@ from repro.core import branching_partition, num_blocks, quotient_lts
 from repro.lang import ClientConfig, explore, spec_lts
 from repro.objects import get
 
+pytestmark = pytest.mark.slow
+
 GOLDEN = {
     # key: (threads, ops, |D|, |D/~|)
     "treiber": (2, 2, 10505, 388),

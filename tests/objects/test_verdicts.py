@@ -10,6 +10,8 @@ import pytest
 from repro.objects import all_benchmarks, get
 from repro.verify import check_lock_freedom_auto, check_linearizability
 
+pytestmark = pytest.mark.slow
+
 BOUNDS = dict(num_threads=2, ops_per_thread=2)
 
 

@@ -86,3 +86,68 @@ def test_compare_weak_and_strong(tmp_path, capsys):
 def test_unknown_benchmark_rejected():
     with pytest.raises(SystemExit):
         main(["verify", "not_a_benchmark"])
+
+
+def test_verify_stats_table(capsys):
+    code = main(["verify", "newcas", "--threads", "2", "--ops", "1",
+                 "--stats"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-- linearizability --" in out
+    assert "-- lock-freedom --" in out
+    assert "-- obstruction-freedom --" in out
+    for stage_name in ("explore", "quotient", "refinement", "check", "total"):
+        assert stage_name in out
+    assert "states=" in out and "sweeps=" in out and "peak_rss_kb=" in out
+
+
+def test_verify_json_dump(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "stats.json")
+    code = main(["verify", "newcas", "--threads", "2", "--ops", "1",
+                 "--json", path])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-- linearizability --" not in out  # table only with --stats
+    payload = json.loads(open(path).read())
+    assert payload["schema"] == "repro.cli-stats/v1"
+    assert payload["command"] == "verify"
+    assert payload["target"] == "newcas"
+    assert payload["config"]["threads"] == 2
+    pipelines = payload["pipelines"]
+    assert set(pipelines) == {
+        "linearizability", "lock-freedom", "obstruction-freedom"
+    }
+    lin = pipelines["linearizability"]
+    assert lin["schema"] == "repro.stats/v1"
+    stages = {entry["stage"] for entry in lin["stages"]}
+    assert {"explore", "quotient", "quotient/refinement", "check"} <= stages
+    assert lin["counters"]["explore.states"] > 0
+    assert lin["total_seconds"] > 0
+
+
+def test_verify_without_stats_prints_no_table(capsys):
+    main(["verify", "newcas", "--threads", "2", "--ops", "1"])
+    out = capsys.readouterr().out
+    assert "-- linearizability --" not in out
+    assert "peak_rss_kb" not in out
+
+
+def test_explore_and_quotient_stats(tmp_path, capsys):
+    impl = str(tmp_path / "impl.aut")
+    quotient = str(tmp_path / "q.aut")
+    assert main(["explore", "newcas", "--ops", "1", "--out", impl,
+                 "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "-- explore --" in out and "states=" in out
+    assert main(["quotient", "newcas", "--ops", "1", "--out", quotient,
+                 "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "-- quotient --" in out and "refinement" in out
+
+    code = main(["compare", impl, quotient, "--relation", "trace", "--stats"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "-- compare --" in out
+    assert "parse" in out and "check" in out

@@ -47,6 +47,7 @@ def test_custom_object(capsys):
     assert "linearizable: True" in out
 
 
+@pytest.mark.slow
 def test_bug_hunting(capsys):
     out = run_example("examples/bug_hunting.py", [], capsys)
     assert "lock-free: False" in out

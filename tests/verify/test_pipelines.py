@@ -136,3 +136,62 @@ def test_unknown_method_rejected():
             NEWCAS.build(2), num_threads=1, ops_per_thread=1,
             workload=NEWCAS.default_workload(), method="bogus",
         )
+
+
+def test_linearizability_stats_populated():
+    from repro.util.metrics import Stats
+
+    stats = Stats()
+    result = check_linearizability(
+        NEWCAS.build(2), NEWCAS.spec(),
+        num_threads=2, ops_per_thread=1,
+        workload=NEWCAS.default_workload(),
+        stats=stats,
+    )
+    assert result.stats is stats
+    for name in ("explore", "spec", "quotient", "quotient/refinement", "check"):
+        assert stats.stage_seconds[name] >= 0
+    assert stats.counters["explore.states"] == result.impl_states
+    assert stats.counters["quotient.impl_states"] == result.impl_quotient_states
+    assert stats.counters["quotient.spec_states"] == result.spec_quotient_states
+    assert stats.counters["check.visited_pairs"] > 0
+    assert stats.counters["quotient/refinement.sweeps"] > 0
+    assert stats.peak_rss_kb > 0
+
+
+def test_lock_freedom_stats_populated():
+    from repro.util.metrics import Stats
+
+    for method in ("union", "tau-cycle"):
+        stats = Stats()
+        result = check_lock_freedom_auto(
+            NEWCAS.build(2), num_threads=2, ops_per_thread=1,
+            workload=NEWCAS.default_workload(), method=method,
+            stats=stats,
+        )
+        assert result.stats is stats
+        assert stats.counters["explore.states"] == result.impl_states
+        assert stats.counters["quotient.impl_states"] == result.quotient_states
+        assert stats.stage_seconds["check"] >= 0
+        if method == "union":
+            assert stats.counters["check/refinement.sweeps"] > 0
+
+
+def test_stats_disabled_gives_identical_verdicts():
+    from repro.util.metrics import Stats
+
+    plain = check_linearizability(
+        NEWCAS.build(2), NEWCAS.spec(),
+        num_threads=2, ops_per_thread=1,
+        workload=NEWCAS.default_workload(),
+    )
+    assert plain.stats is None
+    instrumented = check_linearizability(
+        NEWCAS.build(2), NEWCAS.spec(),
+        num_threads=2, ops_per_thread=1,
+        workload=NEWCAS.default_workload(),
+        stats=Stats(),
+    )
+    assert plain.linearizable == instrumented.linearizable
+    assert plain.impl_states == instrumented.impl_states
+    assert plain.impl_quotient_states == instrumented.impl_quotient_states
