@@ -8,12 +8,15 @@ Subcommands::
     quotient <key> --out F.aut   export its branching-bisim quotient
     compare A.aut B.aut          compare two LTSs up to an equivalence
     bugs                         re-run the paper's bug hunts
+    fuzz                         differential-test the engine vs oracles
 
 Examples::
 
     python -m repro verify ms_queue --threads 2 --ops 2
     python -m repro quotient treiber --out treiber.aut
     python -m repro compare impl.aut spec.aut --relation trace
+    python -m repro fuzz --seed 0 --n 200
+    python -m repro fuzz --mutate drop-block-id --expect-bug
 """
 
 from __future__ import annotations
@@ -248,6 +251,31 @@ def cmd_bugs(_args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .testing import run_fuzz
+
+    report = run_fuzz(
+        seed=args.seed,
+        n=args.n,
+        max_states=args.max_states,
+        tau_density=args.tau_density,
+        time_budget=args.time_budget,
+        corpus_dir=args.corpus,
+        use_programs=not args.no_programs,
+        mutate=args.mutate,
+        progress=print,
+    )
+    print(report.render())
+    found_bug = bool(report.disagreements)
+    if args.expect_bug:
+        if found_bug:
+            print("expected a disagreement and found one: the harness has teeth")
+            return 0
+        print("ERROR: expected the harness to catch a disagreement, it did not")
+        return 1
+    return 1 if found_bug else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -283,6 +311,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stats(compare)
 
     commands.add_parser("bugs", help="re-run the paper's bug hunts")
+
+    from .testing import MUTATIONS
+
+    fuzz = commands.add_parser(
+        "fuzz",
+        help="differentially fuzz the engine against reference oracles",
+    )
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--n", type=int, default=200,
+                      help="number of random instances to generate")
+    fuzz.add_argument("--max-states", type=int, default=7,
+                      help="state-count ceiling for random LTS instances")
+    fuzz.add_argument("--tau-density", type=float, default=0.35,
+                      help="probability that a generated transition is silent")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      help="wall-clock cap in seconds")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="write shrunk failing cases to DIR as .aut files")
+    fuzz.add_argument("--mutate", choices=sorted(MUTATIONS), default=None,
+                      help="inject a known engine bug for the whole run")
+    fuzz.add_argument("--expect-bug", action="store_true",
+                      help="exit 0 iff a disagreement WAS found "
+                           "(harness self-test, pair with --mutate)")
+    fuzz.add_argument("--no-programs", action="store_true",
+                      help="fuzz raw LTSs only, skip random client programs")
     return parser
 
 
@@ -293,6 +346,7 @@ HANDLERS = {
     "quotient": cmd_quotient,
     "compare": cmd_compare,
     "bugs": cmd_bugs,
+    "fuzz": cmd_fuzz,
 }
 
 

@@ -9,6 +9,8 @@ divergence detection) is implemented here on plain Python LTSs.
 from .lts import LTS, LTSBuilder, TAU, TAU_ID, disjoint_union, make_lts, to_dot
 from .partition import (
     BlockMap,
+    RefinementNotConverged,
+    RefinementRun,
     blocks_of,
     is_refinement,
     normalize,
@@ -16,6 +18,7 @@ from .partition import (
     partition_from_key,
     refine_step,
     refine_to_fixpoint,
+    refine_with_status,
     same_partition,
 )
 from .branching import (
@@ -62,6 +65,8 @@ __all__ = [
     "make_lts",
     "to_dot",
     "BlockMap",
+    "RefinementNotConverged",
+    "RefinementRun",
     "blocks_of",
     "is_refinement",
     "normalize",
@@ -69,6 +74,7 @@ __all__ = [
     "partition_from_key",
     "refine_step",
     "refine_to_fixpoint",
+    "refine_with_status",
     "same_partition",
     "Comparison",
     "DIVERGENCE_MARK",

@@ -12,6 +12,7 @@ signature function (Blom & Orzan's signature-refinement scheme).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -100,6 +101,79 @@ def refine_step(block_of: BlockMap, signatures: Sequence[Hashable]) -> Tuple[Blo
     return new_block_of, len(table) != num_blocks(block_of)
 
 
+@dataclass
+class RefinementRun:
+    """Outcome of a (possibly sweep-capped) refinement run.
+
+    ``converged`` is ``True`` only when a sweep produced no split, i.e.
+    ``block_of`` is provably stable under the signature function; a run
+    stopped by ``max_sweeps`` while still splitting reports ``False``
+    and its partition is an intermediate (too coarse) approximation.
+    """
+
+    block_of: BlockMap
+    converged: bool
+    sweeps: int
+
+
+class RefinementNotConverged(RuntimeError):
+    """Raised when ``max_sweeps`` cut refinement off before the fixpoint.
+
+    Carries the interrupted :class:`RefinementRun` so callers that can
+    use a partial (coarser-than-stable) partition may still recover it.
+    """
+
+    def __init__(self, run: RefinementRun):
+        super().__init__(
+            f"partition refinement stopped after {run.sweeps} sweeps "
+            "while blocks were still splitting"
+        )
+        self.run = run
+
+
+def refine_with_status(
+    n: int,
+    signature_fn: SignatureFn,
+    initial: Optional[BlockMap] = None,
+    max_sweeps: Optional[int] = None,
+    stats: Optional["Stats"] = None,
+) -> RefinementRun:
+    """Iterate :func:`refine_step` until stable or ``max_sweeps`` is hit.
+
+    ``signature_fn`` receives the current partition and must return one
+    hashable signature per state.  On convergence the partition is the
+    coarsest refinement of ``initial`` in which equal blocks carry equal
+    signatures; either way the returned :class:`RefinementRun` says
+    explicitly whether the fixpoint was reached.
+
+    ``stats``, when given, receives the ``sweeps``/``splits``/``states``
+    counters once the run ends; the refinement loop itself is identical
+    either way.
+    """
+    if n == 0:
+        return RefinementRun(block_of=[], converged=True, sweeps=0)
+    block_of = normalize(initial) if initial is not None else [0] * n
+    if len(block_of) != n:
+        raise ValueError("initial partition has wrong length")
+    start_blocks = num_blocks(block_of)
+    sweeps = 0
+    converged = False
+    while True:
+        signatures = signature_fn(block_of)
+        block_of, changed = refine_step(block_of, signatures)
+        sweeps += 1
+        if not changed:
+            converged = True
+            break
+        if max_sweeps is not None and sweeps >= max_sweeps:
+            break
+    if stats is not None:
+        stats.count("states", n)
+        stats.count("sweeps", sweeps)
+        stats.count("splits", num_blocks(block_of) - start_blocks)
+    return RefinementRun(block_of=block_of, converged=converged, sweeps=sweeps)
+
+
 def refine_to_fixpoint(
     n: int,
     signature_fn: SignatureFn,
@@ -109,31 +183,15 @@ def refine_to_fixpoint(
 ) -> BlockMap:
     """Iterate :func:`refine_step` until the partition is stable.
 
-    ``signature_fn`` receives the current partition and must return one
-    hashable signature per state.  The result is the coarsest partition
-    refining ``initial`` in which equal blocks carry equal signatures.
-
-    ``stats``, when given, receives the ``sweeps``/``splits``/``states``
-    counters after the fixpoint is reached; the refinement loop itself
-    is identical either way.
+    Like :func:`refine_with_status` but returns the bare partition, so
+    the result is always a genuine fixpoint: if ``max_sweeps`` cuts the
+    run off while blocks are still splitting, the unstable intermediate
+    partition is *not* returned -- :class:`RefinementNotConverged` is
+    raised instead (carrying the partial run for callers that want it).
     """
-    if n == 0:
-        return []
-    block_of = normalize(initial) if initial is not None else [0] * n
-    if len(block_of) != n:
-        raise ValueError("initial partition has wrong length")
-    start_blocks = num_blocks(block_of)
-    sweeps = 0
-    while True:
-        signatures = signature_fn(block_of)
-        block_of, changed = refine_step(block_of, signatures)
-        sweeps += 1
-        if not changed:
-            break
-        if max_sweeps is not None and sweeps >= max_sweeps:
-            break
-    if stats is not None:
-        stats.count("states", n)
-        stats.count("sweeps", sweeps)
-        stats.count("splits", num_blocks(block_of) - start_blocks)
-    return block_of
+    run = refine_with_status(
+        n, signature_fn, initial=initial, max_sweeps=max_sweeps, stats=stats
+    )
+    if not run.converged:
+        raise RefinementNotConverged(run)
+    return run.block_of

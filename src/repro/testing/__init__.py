@@ -1,0 +1,82 @@
+"""Differential-testing subsystem: oracles, generators, laws, fuzzing.
+
+The safety net for the verification engine: naive reference semantics
+written straight from the paper's definitions (:mod:`.oracles`), seeded
+random LTS / client-program generators with Hypothesis strategies
+(:mod:`.generators`), metamorphic laws of the engine's own algebra
+(:mod:`.laws`), and the differential fuzz harness behind ``python -m
+repro fuzz`` (:mod:`.differential`).
+"""
+
+from .oracles import (
+    bounded_traces,
+    branching_bisimulation_relation,
+    divergence_sensitive_branching_relation,
+    diverges_within,
+    is_trace_of,
+    relation_agrees_with_partition,
+    strong_bisimulation_relation,
+    tau_cycle_states_naive,
+    tau_reachable,
+    weak_bisimulation_relation,
+    weak_trace_inclusion,
+)
+from .generators import (
+    LtsShape,
+    ProgramShape,
+    explore_random_program,
+    lts_strategy,
+    program_strategy,
+    random_lts,
+    random_program,
+    tau_heavy_lts_strategy,
+)
+from .laws import ALL_LAWS, check_laws
+from .differential import (
+    Disagreement,
+    FuzzCase,
+    FuzzReport,
+    MUTATIONS,
+    check_equivalences,
+    check_instance,
+    check_seeded_refinement,
+    check_trace_refinement,
+    parity_seed,
+    run_fuzz,
+    shrink_lts,
+)
+
+__all__ = [
+    "bounded_traces",
+    "branching_bisimulation_relation",
+    "divergence_sensitive_branching_relation",
+    "diverges_within",
+    "is_trace_of",
+    "relation_agrees_with_partition",
+    "strong_bisimulation_relation",
+    "tau_cycle_states_naive",
+    "tau_reachable",
+    "weak_bisimulation_relation",
+    "weak_trace_inclusion",
+    "LtsShape",
+    "ProgramShape",
+    "explore_random_program",
+    "lts_strategy",
+    "program_strategy",
+    "random_lts",
+    "random_program",
+    "tau_heavy_lts_strategy",
+    "ALL_LAWS",
+    "check_laws",
+    "Disagreement",
+    "FuzzCase",
+    "FuzzReport",
+    "MUTATIONS",
+    "check_equivalences",
+    "check_instance",
+    "check_seeded_refinement",
+    "check_trace_refinement",
+    "parity_seed",
+    "run_fuzz",
+    "shrink_lts",
+]

@@ -1,0 +1,538 @@
+"""Differential fuzzing: fast engine vs. naive reference oracles.
+
+The harness generates random instances (raw LTSs and explored random
+client programs), runs every equivalence through both the signature-
+refinement engine (:mod:`repro.core`) and the slow relational oracles
+(:mod:`repro.testing.oracles`), checks the metamorphic laws
+(:mod:`repro.testing.laws`), and cross-checks trace refinement including
+counterexample validity.  Any disagreement is shrunk to a minimal LTS
+by greedy delta-debugging and written to the regression corpus
+(``tests/corpus/``) so it becomes a permanent replay test.
+
+``python -m repro fuzz`` is the CLI front end; the ``--mutate`` option
+re-runs the harness against a deliberately broken engine (e.g. a split
+key that drops the block id) to prove the harness would catch a real
+regression -- the CI job does exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..core import (
+    LTS,
+    branching_partition,
+    is_refinement,
+    quotient_lts,
+    strong_partition,
+    trace_refines,
+    weak_partition,
+)
+from ..core.aut import write_aut
+from ..core.lts import make_lts
+from ..core.partition import BlockMap
+from ..lang.client import StateExplosion
+from . import generators, laws, oracles
+
+#: Engine partition per relation name.
+ENGINE_PARTITIONS: Dict[str, Callable[[LTS], BlockMap]] = {
+    "strong": strong_partition,
+    "branching": branching_partition,
+    "branching-div": lambda lts: branching_partition(lts, divergence=True),
+    "weak": weak_partition,
+}
+
+#: Reference oracle per relation name.
+ORACLE_RELATIONS: Dict[str, Callable[[LTS], oracles.Relation]] = {
+    "strong": oracles.strong_bisimulation_relation,
+    "branching": oracles.branching_bisimulation_relation,
+    "branching-div": oracles.divergence_sensitive_branching_relation,
+    "weak": oracles.weak_bisimulation_relation,
+}
+
+#: ``(engine, oracle-or-None)`` pairs additionally checked while
+#: refining from a non-trivial *initial* partition.  Starting from the
+#: trivial partition, signature refinement's approximation sequence is
+#: decreasing, so equal signatures already imply an equal current block
+#: and the block id in the split key is redundant -- a mutation dropping
+#: it is invisible.  Seeded refinement is the code path where the block
+#: id actually carries information, so these checks are what give the
+#: harness teeth against that class of bug.
+#:
+#: Only strong bisimilarity gets the full engine-vs-oracle comparison:
+#: for it, seeded signature refinement provably computes the greatest
+#: bisimulation inside the seed.  For branching bisimilarity the two
+#: natural seed-relative definitions differ -- the literal Definition
+#: 4.1 transfer does not constrain the intermediate states of the
+#: ``t ==tau*==> t_hat`` path, while inert-path signatures keep them in
+#: the current block, and the Stuttering Lemma that reconciles the two
+#: only applies to the unseeded greatest fixed point -- so branching
+#: only gets the structural refines-its-seed check (which is already
+#: sensitive to split-key bugs).
+SEEDED_RELATIONS: Dict[
+    str,
+    Tuple[Callable[..., BlockMap], Optional[Callable[..., oracles.Relation]]],
+] = {
+    "strong-seeded": (
+        strong_partition,
+        oracles.strong_bisimulation_relation,
+    ),
+    "branching-seeded": (
+        branching_partition,
+        None,
+    ),
+}
+
+
+def parity_seed(lts: LTS) -> BlockMap:
+    """A deterministic non-trivial initial partition (state parity)."""
+    return [state % 2 for state in range(lts.num_states)]
+
+
+@dataclass
+class Disagreement:
+    """One engine/oracle (or law) mismatch on a concrete instance."""
+
+    kind: str          # "relation", "trace", or "law"
+    name: str          # relation or law name
+    detail: str
+    lts: Optional[LTS] = None
+
+    def render(self) -> str:
+        return f"[{self.kind}:{self.name}] {self.detail}"
+
+
+def check_equivalences(
+    lts: LTS, relations: Optional[List[str]] = None
+) -> List[Disagreement]:
+    """Engine vs. oracle on every state pair, for every relation."""
+    out: List[Disagreement] = []
+    for name in relations or list(ENGINE_PARTITIONS):
+        block_of = ENGINE_PARTITIONS[name](lts)
+        relation = ORACLE_RELATIONS[name](lts)
+        mismatch = oracles.relation_agrees_with_partition(relation, block_of)
+        if mismatch is not None:
+            s, t = mismatch
+            engine_says = block_of[s] == block_of[t]
+            out.append(Disagreement(
+                kind="relation",
+                name=name,
+                detail=(
+                    f"states {s} and {t}: engine says "
+                    f"{'equivalent' if engine_says else 'inequivalent'}, "
+                    f"oracle says the opposite"
+                ),
+                lts=lts,
+            ))
+    return out
+
+
+def check_seeded_refinement(
+    lts: LTS,
+    relations: Optional[List[str]] = None,
+    oracle_state_limit: int = 40,
+) -> List[Disagreement]:
+    """Engine vs. oracle when refining from a non-trivial seed partition.
+
+    The engine must produce a refinement of the seed (checked on every
+    instance -- it is cheap and purely structural), and on small systems
+    the result must coincide with the greatest bisimulation the oracle
+    finds inside the seed, for the relations where that comparison is
+    sound (see :data:`SEEDED_RELATIONS`).
+    """
+    out: List[Disagreement] = []
+    seed_blocks = parity_seed(lts)
+    for name in relations or list(SEEDED_RELATIONS):
+        engine_fn, oracle_fn = SEEDED_RELATIONS[name]
+        block_of = engine_fn(lts, initial=list(seed_blocks))
+        if not is_refinement(block_of, seed_blocks):
+            out.append(Disagreement(
+                kind="seeded",
+                name=name,
+                detail="refined partition does not refine its seed partition",
+                lts=lts,
+            ))
+            continue
+        if oracle_fn is None or lts.num_states > oracle_state_limit:
+            continue
+        relation = oracle_fn(lts, initial=seed_blocks)
+        mismatch = oracles.relation_agrees_with_partition(relation, block_of)
+        if mismatch is not None:
+            s, t = mismatch
+            engine_says = block_of[s] == block_of[t]
+            out.append(Disagreement(
+                kind="seeded",
+                name=name,
+                detail=(
+                    f"seeded refinement, states {s} and {t}: engine says "
+                    f"{'equivalent' if engine_says else 'inequivalent'}, "
+                    f"oracle says the opposite"
+                ),
+                lts=lts,
+            ))
+    return out
+
+
+def check_trace_refinement(impl: LTS, spec: LTS) -> List[Disagreement]:
+    """Engine vs. brute-force trace inclusion, both the verdict and the
+    counterexample (which must be a trace of ``impl`` but not ``spec``)."""
+    out: List[Disagreement] = []
+    engine = trace_refines(impl, spec)
+    oracle_holds, _ = oracles.weak_trace_inclusion(impl, spec)
+    if engine.holds != oracle_holds:
+        out.append(Disagreement(
+            kind="trace",
+            name="refinement",
+            detail=(
+                f"engine says refinement {'holds' if engine.holds else 'fails'}, "
+                f"oracle says the opposite"
+            ),
+            lts=impl,
+        ))
+        return out
+    if not engine.holds:
+        trace = engine.counterexample or []
+        if not oracles.is_trace_of(impl, list(trace)):
+            out.append(Disagreement(
+                kind="trace",
+                name="counterexample",
+                detail=f"engine counterexample {trace!r} is not a trace of impl",
+                lts=impl,
+            ))
+        elif oracles.is_trace_of(spec, list(trace)):
+            out.append(Disagreement(
+                kind="trace",
+                name="counterexample",
+                detail=f"engine counterexample {trace!r} is a trace of spec",
+                lts=impl,
+            ))
+    return out
+
+
+def check_instance(
+    lts: LTS,
+    oracle_state_limit: int = 40,
+    include_laws: bool = True,
+) -> List[Disagreement]:
+    """All differential checks on one LTS.
+
+    Relational oracles are quartic, so instances above
+    ``oracle_state_limit`` states only run the laws and the trace
+    cross-check against their own quotient.
+    """
+    out: List[Disagreement] = []
+    if lts.num_states <= oracle_state_limit:
+        out.extend(check_equivalences(lts))
+    out.extend(check_seeded_refinement(lts, oracle_state_limit=oracle_state_limit))
+    if include_laws:
+        for name, message in laws.check_laws(lts):
+            out.append(Disagreement(kind="law", name=name, detail=message, lts=lts))
+    quotient = quotient_lts(lts, branching_partition(lts))
+    out.extend(check_trace_refinement(lts, quotient.lts))
+    out.extend(check_trace_refinement(quotient.lts, lts))
+    return out
+
+
+# ----------------------------------------------------------------------
+# shrinking
+# ----------------------------------------------------------------------
+
+def shrink_lts(lts: LTS, still_fails: Callable[[LTS], bool]) -> LTS:
+    """Greedy delta-debugging: drop transitions, then trailing states.
+
+    ``still_fails`` must be true of the input; the result is a local
+    minimum -- removing any single transition (or the last state) makes
+    the failure disappear.
+    """
+    transitions = [
+        (src, lts.action_labels[aid], dst) for src, aid, dst in lts.transitions()
+    ]
+    num_states, init = lts.num_states, lts.init
+
+    def build(n: int, trans: List[Tuple[int, object, int]]) -> LTS:
+        return make_lts(n, init if init < n else 0, trans)
+
+    improved = True
+    while improved:
+        improved = False
+        for index in range(len(transitions)):
+            candidate = transitions[:index] + transitions[index + 1:]
+            try:
+                if still_fails(build(num_states, candidate)):
+                    transitions = candidate
+                    improved = True
+                    break
+            except Exception:
+                continue
+        else:
+            while num_states > 1:
+                last = num_states - 1
+                if init == last or any(
+                    src == last or dst == last for src, _, dst in transitions
+                ):
+                    break
+                try:
+                    if not still_fails(build(num_states - 1, transitions)):
+                        break
+                except Exception:
+                    break
+                num_states -= 1
+                improved = True
+    return build(num_states, transitions)
+
+
+# ----------------------------------------------------------------------
+# engine mutations (to prove the harness has teeth)
+# ----------------------------------------------------------------------
+
+@contextmanager
+def _mutate_drop_block_id() -> Iterator[None]:
+    """Split key loses the current block id: distinct blocks with equal
+    signatures wrongly merge -- the classic refinement bug."""
+    from ..core import partition as P
+
+    original = P.refine_step
+
+    def buggy(block_of, signatures):
+        table: Dict[object, int] = {}
+        new_block_of = [0] * len(block_of)
+        for state in range(len(block_of)):
+            key = signatures[state]  # bug: block id dropped from the key
+            nb = table.get(key)
+            if nb is None:
+                nb = len(table)
+                table[key] = nb
+            new_block_of[state] = nb
+        return new_block_of, len(table) != P.num_blocks(block_of)
+
+    P.refine_step = buggy
+    try:
+        yield
+    finally:
+        P.refine_step = original
+
+
+@contextmanager
+def _mutate_skip_divergence_mark() -> Iterator[None]:
+    """Divergence-sensitive signatures silently lose their divergence
+    marker, collapsing the variant into plain branching bisimulation."""
+    from ..core import branching as B
+
+    original = B._branching_signatures_ordered
+
+    def buggy(lts, block_of, divergence):
+        return original(lts, block_of, False)
+
+    B._branching_signatures_ordered = buggy
+    try:
+        yield
+    finally:
+        B._branching_signatures_ordered = original
+
+
+@contextmanager
+def _mutate_truncate_tau_closure() -> Iterator[None]:
+    """Weak-bisimulation tau-closures collapse to singletons, losing all
+    saturated moves."""
+    from ..core import weak as W
+
+    original = W.tau_closures
+
+    def buggy(lts):
+        return [frozenset({state}) for state in range(lts.num_states)]
+
+    W.tau_closures = buggy
+    try:
+        yield
+    finally:
+        W.tau_closures = original
+
+
+MUTATIONS: Dict[str, Callable[[], object]] = {
+    "drop-block-id": _mutate_drop_block_id,
+    "skip-divergence-mark": _mutate_skip_divergence_mark,
+    "truncate-tau-closure": _mutate_truncate_tau_closure,
+}
+
+
+# ----------------------------------------------------------------------
+# the fuzz loop
+# ----------------------------------------------------------------------
+
+@dataclass
+class FuzzCase:
+    """One shrunk failing instance, as written to the corpus."""
+
+    name: str
+    disagreement: Disagreement
+    lts: LTS
+    path: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of a fuzzing run."""
+
+    seed: int
+    instances: int = 0
+    checks: int = 0
+    skipped: int = 0
+    elapsed: float = 0.0
+    disagreements: List[Disagreement] = field(default_factory=list)
+    cases: List[FuzzCase] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: seed={self.seed} instances={self.instances} "
+            f"checks={self.checks} skipped={self.skipped} "
+            f"disagreements={len(self.disagreements)} "
+            f"({self.elapsed:.1f}s)"
+        ]
+        for case in self.cases:
+            where = f" -> {case.path}" if case.path else ""
+            lines.append(f"  {case.disagreement.render()}{where}")
+        for extra in self.disagreements[len(self.cases):]:
+            lines.append(f"  {extra.render()}")
+        return "\n".join(lines)
+
+
+def _generate_instance(rng: random.Random, index: int, max_states: int,
+                       tau_density: float, use_programs: bool) -> Optional[LTS]:
+    """Instance mix: mostly raw LTSs, some tau-cycle-heavy, some programs."""
+    if use_programs and index % 6 == 5:
+        try:
+            return generators.explore_random_program(
+                rng.randrange(2**32), max_states=2000
+            )
+        except StateExplosion:
+            return None
+    tau_cycles = 1 if index % 4 == 3 else 0
+    return generators.random_lts(
+        rng.randrange(2**32),
+        num_states=rng.randint(1, max_states),
+        num_transitions=rng.randint(0, 2 * max_states),
+        num_labels=rng.randint(1, 3),
+        tau_density=tau_density,
+        deterministic=(index % 10 == 9),
+        tau_cycles=tau_cycles,
+    )
+
+
+def _shrink_disagreement(disagreement: Disagreement) -> LTS:
+    """Shrink the instance while the same check keeps failing."""
+    lts = disagreement.lts
+    assert lts is not None
+
+    def still_fails(candidate: LTS) -> bool:
+        if disagreement.kind == "relation":
+            return bool(check_equivalences(candidate, [disagreement.name]))
+        if disagreement.kind == "seeded":
+            return bool(check_seeded_refinement(candidate, [disagreement.name]))
+        if disagreement.kind == "law":
+            failed = laws.check_laws(candidate)
+            return any(name == disagreement.name for name, _ in failed)
+        return bool(check_instance(candidate, include_laws=False))
+
+    try:
+        return shrink_lts(lts, still_fails)
+    except Exception:
+        return lts
+
+
+def _write_case(case: FuzzCase, corpus_dir: str) -> str:
+    os.makedirs(corpus_dir, exist_ok=True)
+    base = os.path.join(corpus_dir, case.name)
+    write_aut(case.lts, base + ".aut")
+    with open(base + ".meta.json", "w") as handle:
+        json.dump(
+            {
+                "schema": "repro.fuzz-case/v1",
+                "kind": case.disagreement.kind,
+                "name": case.disagreement.name,
+                "detail": case.disagreement.detail,
+                "origin": "fuzz",
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
+    return base + ".aut"
+
+
+def run_fuzz(
+    seed: int = 0,
+    n: int = 200,
+    max_states: int = 7,
+    tau_density: float = 0.35,
+    time_budget: Optional[float] = None,
+    corpus_dir: Optional[str] = None,
+    use_programs: bool = True,
+    mutate: Optional[str] = None,
+    oracle_state_limit: int = 40,
+    stop_after: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``n`` differential instances; see the module docstring.
+
+    ``mutate`` names an entry of :data:`MUTATIONS` to inject into the
+    engine for the duration of the run.  ``stop_after`` ends the run
+    early once that many disagreements were found (the default for
+    mutation runs is 1 -- finding any bug is enough).  ``time_budget``
+    (seconds) caps the wall-clock time.
+    """
+    if mutate is not None and mutate not in MUTATIONS:
+        raise ValueError(
+            f"unknown mutation {mutate!r}; choose from {sorted(MUTATIONS)}"
+        )
+    if stop_after is None and mutate is not None:
+        stop_after = 1
+    rng = random.Random(seed)
+    report = FuzzReport(seed=seed)
+    started = time.monotonic()
+
+    def body() -> None:
+        for index in range(n):
+            if time_budget is not None and time.monotonic() - started > time_budget:
+                break
+            lts = _generate_instance(
+                rng, index, max_states, tau_density, use_programs
+            )
+            if lts is None:
+                report.skipped += 1
+                continue
+            report.instances += 1
+            found = check_instance(lts, oracle_state_limit=oracle_state_limit)
+            report.checks += (
+                len(ENGINE_PARTITIONS) + len(SEEDED_RELATIONS)
+                + len(laws.ALL_LAWS) + 2
+            )
+            if found:
+                report.disagreements.extend(found)
+                for disagreement in found[:1]:
+                    shrunk = _shrink_disagreement(disagreement)
+                    case = FuzzCase(
+                        name=f"fuzz_seed{seed}_case{index}",
+                        disagreement=disagreement,
+                        lts=shrunk,
+                    )
+                    if corpus_dir is not None and mutate is None:
+                        case.path = _write_case(case, corpus_dir)
+                    report.cases.append(case)
+                if progress is not None:
+                    progress(found[0].render())
+            if stop_after is not None and len(report.disagreements) >= stop_after:
+                break
+
+    if mutate is not None:
+        with MUTATIONS[mutate]():
+            body()
+    else:
+        body()
+    report.elapsed = time.monotonic() - started
+    return report

@@ -1,0 +1,31 @@
+"""Shared pytest configuration: Hypothesis settings profiles.
+
+Three profiles are registered here; pick one with Hypothesis's own
+``--hypothesis-profile`` pytest flag or the ``HYPOTHESIS_PROFILE``
+environment variable:
+
+* ``ci`` -- few examples, for the time-boxed pull-request gate
+  (``pytest --hypothesis-profile=ci``);
+* ``dev`` -- the default: moderate example counts for local runs;
+* ``nightly`` -- deep runs for scheduled jobs
+  (``pytest --hypothesis-profile=nightly``).
+
+All profiles disable the per-example deadline: the property tests
+compare whole partitions/relations per example, and a slow-but-correct
+example must never be reported as flaky.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+_COMMON = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+settings.register_profile("ci", max_examples=25, **_COMMON)
+settings.register_profile("dev", max_examples=60, **_COMMON)
+settings.register_profile("nightly", max_examples=400, **_COMMON)
+
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

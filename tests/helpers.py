@@ -1,212 +1,41 @@
 """Shared helpers for the test suite: brute-force oracles and generators.
 
-The brute-force functions here implement the definitions from the paper
-directly (bounded trace enumeration, naive bisimulation games) and are
-used as oracles against the production algorithms on small systems.
+Since the differential-testing subsystem landed, the reference
+implementations live in :mod:`repro.testing` (oracles, generators,
+laws) where both the test suite and the ``repro fuzz`` harness share
+them.  This module keeps the historical names as thin aliases so
+existing tests keep reading naturally.
 """
 
 from __future__ import annotations
 
-from itertools import product
-from typing import FrozenSet, Hashable, List, Set, Tuple
+from typing import Set, Tuple
 
-from hypothesis import strategies as st
+from repro.core import LTS
+from repro.testing import (
+    bounded_traces,
+    branching_bisimulation_relation,
+    is_trace_of,
+    lts_strategy,
+    tau_heavy_lts_strategy,
+    weak_bisimulation_relation,
+)
 
-from repro.core import LTS, TAU_ID, make_lts
-
-
-def bounded_traces(lts: LTS, start: int, max_len: int) -> Set[Tuple[Hashable, ...]]:
-    """All visible traces of length <= max_len from ``start`` (brute force)."""
-    traces: Set[Tuple[Hashable, ...]] = set()
-    stack: List[Tuple[int, Tuple[Hashable, ...], int]] = [(start, (), 0)]
-    # Track (state, trace) pairs to cut cycles while preserving all traces.
-    seen: Set[Tuple[int, Tuple[Hashable, ...]]] = set()
-    while stack:
-        state, trace, length = stack.pop()
-        if (state, trace) in seen:
-            continue
-        seen.add((state, trace))
-        traces.add(trace)
-        if length >= max_len:
-            continue
-        for aid, dst in lts.successors(state):
-            if aid == TAU_ID:
-                stack.append((dst, trace, length))
-            else:
-                label = lts.action_labels[aid]
-                stack.append((dst, trace + (label,), length + 1))
-    return traces
-
-
-def is_trace_of(lts: LTS, trace: List[Hashable]) -> bool:
-    """Whether ``trace`` is a trace of ``lts`` (subset simulation)."""
-    current: Set[int] = _tau_close(lts, {lts.init})
-    for label in trace:
-        aid = lts.lookup_action(label)
-        if aid is None:
-            return False
-        nxt: Set[int] = set()
-        for state in current:
-            for a, dst in lts.successors(state):
-                if a == aid:
-                    nxt.add(dst)
-        if not nxt:
-            return False
-        current = _tau_close(lts, nxt)
-    return True
-
-
-def _tau_close(lts: LTS, states: Set[int]) -> Set[int]:
-    out = set(states)
-    stack = list(states)
-    while stack:
-        state = stack.pop()
-        for aid, dst in lts.successors(state):
-            if aid == TAU_ID and dst not in out:
-                out.add(dst)
-                stack.append(dst)
-    return out
+__all__ = [
+    "bounded_traces",
+    "is_trace_of",
+    "lts_strategy",
+    "tau_heavy_lts_strategy",
+    "naive_branching_bisimulation",
+    "naive_weak_bisimulation",
+]
 
 
 def naive_branching_bisimulation(lts: LTS) -> Set[Tuple[int, int]]:
-    """Greatest branching bisimulation by naive fixpoint (Definition 4.1).
-
-    Quadratic-ish and only usable on tiny systems; serves as the oracle
-    for the partition-refinement implementation.
-    """
-    n = lts.num_states
-    rel: Set[Tuple[int, int]] = {(s, r) for s in range(n) for r in range(n)}
-
-    def tau_reach(state: int) -> List[int]:
-        seen = [state]
-        stack = [state]
-        while stack:
-            cur = stack.pop()
-            for aid, dst in lts.successors(cur):
-                if aid == TAU_ID and dst not in seen:
-                    seen.append(dst)
-                    stack.append(dst)
-        return seen
-
-    def simulates(s1: int, s2: int, rel: Set[Tuple[int, int]]) -> bool:
-        for aid, t1 in lts.successors(s1):
-            if aid == TAU_ID:
-                if (t1, s2) in rel:
-                    continue
-                ok = False
-                for mid in tau_reach(s2):
-                    if (s1, mid) not in rel:
-                        continue
-                    for a2, t2 in lts.successors(mid):
-                        if a2 == TAU_ID and (t1, t2) in rel:
-                            ok = True
-                            break
-                    if ok:
-                        break
-                if not ok:
-                    return False
-            else:
-                ok = False
-                for mid in tau_reach(s2):
-                    if (s1, mid) not in rel:
-                        continue
-                    for a2, t2 in lts.successors(mid):
-                        if a2 == aid and (t1, t2) in rel:
-                            ok = True
-                            break
-                    if ok:
-                        break
-                if not ok:
-                    return False
-        return True
-
-    changed = True
-    while changed:
-        changed = False
-        for pair in list(rel):
-            s, r = pair
-            if not simulates(s, r, rel) or not simulates(r, s, rel):
-                rel.discard(pair)
-                rel.discard((r, s))
-                changed = True
-    return rel
-
-
-def lts_strategy(
-    max_states: int = 6,
-    max_transitions: int = 12,
-    labels: Tuple[str, ...] = ("tau", "a", "b"),
-):
-    """Hypothesis strategy for small random LTSs."""
-
-    @st.composite
-    def build(draw):
-        n = draw(st.integers(min_value=1, max_value=max_states))
-        num_trans = draw(st.integers(min_value=0, max_value=max_transitions))
-        transitions = []
-        for _ in range(num_trans):
-            src = draw(st.integers(min_value=0, max_value=n - 1))
-            dst = draw(st.integers(min_value=0, max_value=n - 1))
-            label = draw(st.sampled_from(labels))
-            transitions.append((src, label, dst))
-        init = draw(st.integers(min_value=0, max_value=n - 1))
-        return make_lts(n, init, transitions)
-
-    return build()
+    """Greatest branching bisimulation by naive fixpoint (Definition 4.1)."""
+    return branching_bisimulation_relation(lts)
 
 
 def naive_weak_bisimulation(lts: LTS) -> Set[Tuple[int, int]]:
-    """Greatest weak bisimulation by naive fixpoint (Milner).
-
-    Oracle for the saturation-based implementation on tiny systems.
-    """
-    n = lts.num_states
-
-    def tau_reach(state: int) -> List[int]:
-        seen = [state]
-        stack = [state]
-        while stack:
-            cur = stack.pop()
-            for aid, dst in lts.successors(cur):
-                if aid == TAU_ID and dst not in seen:
-                    seen.append(dst)
-                    stack.append(dst)
-        return seen
-
-    # Saturated weak moves: state -> list of (aid_or_TAU, target).
-    weak_moves: List[List[Tuple[int, int]]] = []
-    for state in range(n):
-        moves = []
-        for mid in tau_reach(state):
-            moves.append((TAU_ID, mid))
-            for aid, dst in lts.successors(mid):
-                if aid != TAU_ID:
-                    for end in tau_reach(dst):
-                        moves.append((aid, end))
-        weak_moves.append(moves)
-
-    rel: Set[Tuple[int, int]] = {(s, r) for s in range(n) for r in range(n)}
-
-    def simulates(s1: int, s2: int) -> bool:
-        for aid, t1 in lts.successors(s1):
-            ok = False
-            for aid2, t2 in weak_moves[s2]:
-                if aid2 == aid and (t1, t2) in rel:
-                    ok = True
-                    break
-            if not ok:
-                return False
-        return True
-
-    changed = True
-    while changed:
-        changed = False
-        for pair in list(rel):
-            s, r = pair
-            if pair not in rel:
-                continue
-            if not simulates(s, r) or not simulates(r, s):
-                rel.discard((s, r))
-                rel.discard((r, s))
-                changed = True
-    return rel
+    """Greatest weak bisimulation by naive fixpoint (Milner)."""
+    return weak_bisimulation_relation(lts)

@@ -1,0 +1,88 @@
+"""Validity of LTL counterexample lassos against the source system.
+
+Every reported violation is a lasso ``prefix + cycle``; these tests
+replay it on the stutter-completed system (the structure the checker
+actually explored), pump the cycle several times to prove it really
+loops, and check formula-specific content (a ``G F a`` violation must
+have an ``a``-free cycle, a ``F b`` violation must avoid ``b``
+entirely).
+"""
+
+from hypothesis import given
+
+from repro.core import make_lts
+from repro.ltl import AP, Finally, Globally, check_ltl, stutter_complete
+from repro.testing import lts_strategy
+
+a = AP("a", lambda label: label == "a")
+b = AP("b", lambda label: label == "b")
+
+
+def _replayable(system, word):
+    """Whether ``word`` labels a path from the initial state."""
+    states = {system.init}
+    for label in word:
+        aid = system.lookup_action(label)
+        if aid is None:
+            return False
+        states = {
+            dst
+            for state in states
+            for aid2, dst in system.successors(state)
+            if aid2 == aid
+        }
+        if not states:
+            return False
+    return True
+
+
+def _assert_valid_lasso(lts, result):
+    prefix = list(result.prefix or [])
+    cycle = list(result.cycle or [])
+    assert cycle, "a violation lasso needs a non-empty cycle"
+    system = stutter_complete(lts)
+    assert _replayable(system, prefix + cycle)
+    # The cycle must actually loop: pumping it stays replayable.
+    assert _replayable(system, prefix + cycle * 3)
+
+
+@given(lts_strategy(max_states=5, max_transitions=8, labels=("tau", "a", "b")))
+def test_gfa_counterexamples_replay_and_avoid_a(lts):
+    result = check_ltl(lts, Globally(Finally(a)))
+    if result.holds:
+        return
+    _assert_valid_lasso(lts, result)
+    # A G F a violation visits 'a' only finitely often: never in the cycle.
+    assert "a" not in (result.cycle or [])
+
+
+@given(lts_strategy(max_states=5, max_transitions=8, labels=("tau", "a", "b")))
+def test_finally_counterexamples_never_contain_the_goal(lts):
+    result = check_ltl(lts, Finally(b))
+    if result.holds:
+        return
+    _assert_valid_lasso(lts, result)
+    # An F b violation is a whole run without b: neither part has it.
+    word = list(result.prefix or []) + list(result.cycle or [])
+    assert "b" not in word
+
+
+@given(lts_strategy(max_states=5, max_transitions=8, labels=("tau", "a", "b")))
+def test_globally_counterexamples_reach_a_violation(lts):
+    result = check_ltl(lts, Globally(a))
+    if result.holds:
+        return
+    _assert_valid_lasso(lts, result)
+    # A G a violation must contain some non-'a' letter along the lasso.
+    word = list(result.prefix or []) + list(result.cycle or [])
+    assert any(label != "a" for label in word)
+
+
+def test_lasso_validity_on_handcrafted_starvation():
+    lts = make_lts(3, 0, [
+        (0, "a", 1), (1, "a", 0), (0, "b", 2), (2, "b", 2),
+    ])
+    result = check_ltl(lts, Globally(Finally(a)))
+    assert not result.holds
+    _assert_valid_lasso(lts, result)
+    assert set(result.cycle) == {"b"}

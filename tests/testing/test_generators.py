@@ -1,0 +1,140 @@
+"""Tests for the seeded random LTS / program generators."""
+
+import pytest
+from hypothesis import given
+
+from repro.lang.client import StateExplosion
+from repro.testing import (
+    LtsShape,
+    ProgramShape,
+    explore_random_program,
+    lts_strategy,
+    random_lts,
+    random_program,
+    tau_cycle_states_naive,
+    tau_heavy_lts_strategy,
+)
+
+
+def _transition_set(lts):
+    return {
+        (src, lts.action_labels[aid], dst)
+        for src, aid, dst in lts.transitions()
+    }
+
+
+def test_random_lts_is_seed_deterministic():
+    a = random_lts(42)
+    b = random_lts(42)
+    assert a.num_states == b.num_states
+    assert a.init == b.init
+    assert _transition_set(a) == _transition_set(b)
+    different = random_lts(43)
+    assert (
+        _transition_set(a) != _transition_set(different)
+        or a.init != different.init
+    )
+
+
+def test_random_lts_respects_shape_bounds():
+    shape = LtsShape(num_states=4, num_transitions=6, num_labels=1)
+    for seed in range(20):
+        lts = random_lts(seed, shape)
+        assert lts.num_states == 4
+        assert 0 <= lts.init < 4
+        assert lts.num_transitions <= 6
+        visible = {
+            lts.action_labels[aid]
+            for _, aid, _ in lts.transitions()
+            if lts.action_labels[aid] != ("tau",)
+        }
+        assert visible <= {"a"}
+
+
+def test_random_lts_overrides_and_unknown_field_rejected():
+    lts = random_lts(7, num_states=3, tau_density=1.0, num_transitions=5)
+    assert lts.num_states == 3
+    assert all(
+        lts.action_labels[aid] == ("tau",) for _, aid, _ in lts.transitions()
+    )
+    with pytest.raises(TypeError):
+        random_lts(7, no_such_knob=1)
+
+
+def test_random_lts_tau_cycle_injection():
+    hits = 0
+    for seed in range(10):
+        lts = random_lts(seed, num_states=5, num_transitions=0, tau_cycles=1)
+        if tau_cycle_states_naive(lts):
+            hits += 1
+    # Every injected cycle is a real silent cycle.
+    assert hits == 10
+
+
+def test_random_lts_deterministic_mode():
+    for seed in range(10):
+        lts = random_lts(seed, num_states=5, num_transitions=20,
+                         deterministic=True)
+        seen = set()
+        for src, aid, _ in lts.transitions():
+            assert (src, aid) not in seen
+            seen.add((src, aid))
+
+
+def test_random_program_is_seed_deterministic():
+    prog_a, workload_a = random_program(3)
+    prog_b, workload_b = random_program(3)
+    assert workload_a == workload_b
+    assert [m.name for m in prog_a.methods] == [m.name for m in prog_b.methods]
+    assert [len(m.body) for m in prog_a.methods] == [
+        len(m.body) for m in prog_b.methods
+    ]
+    lts_a = explore_random_program(3)
+    lts_b = explore_random_program(3)
+    assert lts_a.num_states == lts_b.num_states
+    assert _transition_set(lts_a) == _transition_set(lts_b)
+
+
+def test_random_program_shape_is_respected():
+    shape = ProgramShape(num_methods=3, max_body_ops=2, num_globals=1)
+    program, workload = random_program(11, shape)
+    assert len(program.methods) == 3
+    assert len(workload) == 3
+    assert set(program.globals_) == {"g0"}
+    for method in program.methods:
+        # body ops plus the trailing Return
+        assert len(method.body) <= shape.max_body_ops + 1
+
+
+def test_explore_random_program_produces_call_ret_structure():
+    lts = explore_random_program(5)
+    assert lts.num_states > 1
+    kinds = {
+        label[0]
+        for label in lts.action_labels
+        if isinstance(label, tuple) and label != ("tau",)
+    }
+    assert "call" in kinds and "ret" in kinds
+
+
+def test_explore_random_program_state_cap_raises():
+    with pytest.raises(StateExplosion):
+        explore_random_program(5, max_states=1)
+
+
+@given(lts_strategy(max_states=4, max_transitions=6))
+def test_lts_strategy_draws_are_well_formed(lts):
+    assert 1 <= lts.num_states <= 4
+    assert 0 <= lts.init < lts.num_states
+    assert lts.num_transitions <= 6
+    for src, aid, dst in lts.transitions():
+        assert 0 <= src < lts.num_states
+        assert 0 <= dst < lts.num_states
+        assert lts.action_labels[aid] in (("tau",), "a", "b")
+
+
+@given(tau_heavy_lts_strategy(max_states=4, max_transitions=6))
+def test_tau_heavy_strategy_draws_are_well_formed(lts):
+    assert 1 <= lts.num_states
+    for src, aid, dst in lts.transitions():
+        assert lts.action_labels[aid] in (("tau",), "a")

@@ -1,0 +1,57 @@
+"""Tests for the metamorphic laws of the engine's algebra."""
+
+from hypothesis import given
+
+from repro.core import make_lts
+from repro.testing import (
+    ALL_LAWS,
+    check_laws,
+    lts_strategy,
+    random_lts,
+    tau_heavy_lts_strategy,
+)
+
+
+def test_laws_hold_on_classic_examples():
+    examples = [
+        make_lts(1, 0, []),
+        make_lts(2, 0, [(0, "tau", 0)]),
+        make_lts(5, 0, [(0, "tau", 1), (1, "a", 2), (3, "a", 4)]),
+        make_lts(6, 0, [
+            (0, "tau", 1), (0, "b", 2), (1, "a", 2),
+            (3, "tau", 4), (3, "b", 5), (3, "a", 5), (4, "a", 5),
+        ]),
+    ]
+    for lts in examples:
+        assert check_laws(lts) == []
+
+
+def test_laws_hold_on_seeded_random_systems():
+    for seed in range(25):
+        lts = random_lts(seed, num_states=5, num_transitions=9,
+                         tau_cycles=seed % 2)
+        assert check_laws(lts) == [], f"law violated on seed {seed}"
+
+
+def test_all_laws_have_unique_names():
+    names = [name for name, _ in ALL_LAWS]
+    assert len(names) == len(set(names))
+
+
+def test_each_law_passes_individually_on_a_tau_cycle_system():
+    # tau-cycle-heavy shape stresses the divergence-sensitive laws.
+    lts = make_lts(4, 0, [
+        (0, "tau", 1), (1, "tau", 0), (1, "a", 2), (2, "tau", 3),
+    ])
+    for name, law in ALL_LAWS:
+        assert law(lts) is None, name
+
+
+@given(lts_strategy(max_states=5, max_transitions=8))
+def test_laws_hold_on_drawn_systems(lts):
+    assert check_laws(lts) == []
+
+
+@given(tau_heavy_lts_strategy(max_states=4, max_transitions=7))
+def test_laws_hold_on_tau_heavy_systems(lts):
+    assert check_laws(lts) == []

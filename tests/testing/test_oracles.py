@@ -1,0 +1,180 @@
+"""Unit tests for the relational reference oracles.
+
+The oracles are the trusted side of the differential harness, so they
+get their own direct tests on the classic textbook systems whose
+verdicts are known by hand, plus property tests tying them back to the
+engine (the engine side of the same properties lives in
+``tests/core/test_properties.py``).
+"""
+
+from hypothesis import given
+
+from repro.core import branching_partition, make_lts, strong_partition, weak_partition
+from repro.testing import (
+    bounded_traces,
+    branching_bisimulation_relation,
+    divergence_sensitive_branching_relation,
+    diverges_within,
+    is_trace_of,
+    lts_strategy,
+    relation_agrees_with_partition,
+    strong_bisimulation_relation,
+    tau_cycle_states_naive,
+    tau_reachable,
+    weak_bisimulation_relation,
+    weak_trace_inclusion,
+)
+
+
+def _classic_weak_not_branching():
+    """van Glabbeek & Weijland's separating example, as one LTS.
+
+    Left side (init 0) is ``tau.a + b``; right side (init 3) is
+    ``tau.a + b + a``.  The two roots are weakly bisimilar (the extra
+    ``a`` is matched through the silent step) but not branching
+    bisimilar (after the matching silent step the intermediate state
+    has lost the ``b`` option).
+    """
+    return make_lts(6, 0, [
+        (0, "tau", 1), (0, "b", 2), (1, "a", 2),
+        (3, "tau", 4), (3, "b", 5), (3, "a", 5), (4, "a", 5),
+    ])
+
+
+def test_weak_relates_the_classic_pair_branching_does_not():
+    lts = _classic_weak_not_branching()
+    weak = weak_bisimulation_relation(lts)
+    branching = branching_bisimulation_relation(lts)
+    assert (0, 3) in weak
+    assert (0, 3) not in branching
+
+
+def test_branching_relates_inert_tau_strong_does_not():
+    # 0 --tau--> 1 --a--> 2   vs   3 --a--> 4: the silent prefix is inert.
+    lts = make_lts(5, 0, [(0, "tau", 1), (1, "a", 2), (3, "a", 4)])
+    assert (0, 3) in branching_bisimulation_relation(lts)
+    assert (0, 3) not in strong_bisimulation_relation(lts)
+
+
+def test_divergence_sensitivity_splits_spin_from_deadlock():
+    # A silent self-loop vs. a deadlock: branching-equivalent, but only
+    # one of them diverges.
+    lts = make_lts(2, 0, [(0, "tau", 0)])
+    assert (0, 1) in branching_bisimulation_relation(lts)
+    assert (0, 1) not in divergence_sensitive_branching_relation(lts)
+
+
+def test_divergence_oracle_keeps_equivalent_non_divergent_pair():
+    # 0 <--tau--> 2 with a visible escape, and the tau-loop on 1 only:
+    # 0 and 2 silently shuttle but cannot diverge inside their class
+    # (their tau-moves to 1 leave it), so they stay equivalent.  This is
+    # the regression instance for the naive (unsound, non-monotone)
+    # divergence transfer the oracle used to have.
+    lts = make_lts(3, 2, [
+        (2, "c", 0), (2, "tau", 1), (1, "tau", 1), (0, "tau", 2),
+    ])
+    rel = divergence_sensitive_branching_relation(lts)
+    assert (0, 2) in rel
+    assert (0, 1) not in rel
+
+
+def test_tau_cycle_states_naive():
+    lts = make_lts(4, 0, [
+        (0, "tau", 1), (1, "tau", 0), (2, "tau", 3), (3, "a", 2),
+    ])
+    assert tau_cycle_states_naive(lts) == {0, 1}
+
+
+def test_diverges_within_respects_the_allowed_set():
+    lts = make_lts(3, 0, [(0, "tau", 1), (1, "tau", 0), (2, "tau", 2)])
+    assert diverges_within(lts, 0, {0, 1})
+    assert not diverges_within(lts, 0, {0})      # the cycle needs state 1
+    assert diverges_within(lts, 2, {2})
+    assert not diverges_within(lts, 2, {0, 1})   # start outside allowed
+
+
+def test_tau_reachable_is_reflexive_and_silent_only():
+    lts = make_lts(4, 0, [(0, "tau", 1), (1, "a", 2), (1, "tau", 3)])
+    assert set(tau_reachable(lts, 0)) == {0, 1, 3}
+    assert set(tau_reachable(lts, 2)) == {2}
+
+
+def test_bounded_traces_ignores_tau_and_caps_length():
+    lts = make_lts(4, 0, [(0, "tau", 1), (1, "a", 2), (2, "b", 3)])
+    assert bounded_traces(lts, 0, 1) == {(), ("a",)}
+    assert bounded_traces(lts, 0, 2) == {(), ("a",), ("a", "b")}
+
+
+def test_is_trace_of():
+    lts = make_lts(4, 0, [(0, "tau", 1), (1, "a", 2), (2, "b", 3)])
+    assert is_trace_of(lts, [])
+    assert is_trace_of(lts, ["a"])
+    assert is_trace_of(lts, ["a", "b"])
+    assert not is_trace_of(lts, ["b"])
+    assert not is_trace_of(lts, ["a", "a"])
+    assert not is_trace_of(lts, ["unknown"])
+
+
+def test_weak_trace_inclusion_verdicts_and_counterexample():
+    impl = make_lts(3, 0, [(0, "a", 1), (1, "b", 2), (0, "c", 2)])
+    spec = make_lts(3, 0, [(0, "a", 1), (1, "b", 2)])
+    holds, counterexample = weak_trace_inclusion(spec, impl)
+    assert holds and counterexample is None
+    holds, counterexample = weak_trace_inclusion(impl, spec)
+    assert not holds
+    assert counterexample == ["c"]
+    assert is_trace_of(impl, counterexample)
+    assert not is_trace_of(spec, counterexample)
+
+
+def test_seeded_oracle_restricts_to_the_seed():
+    # Two bisimilar deadlock states forced apart by the seed partition.
+    lts = make_lts(2, 0, [])
+    assert (0, 1) in strong_bisimulation_relation(lts)
+    assert (0, 1) not in strong_bisimulation_relation(lts, initial=[0, 1])
+    assert (0, 0) in strong_bisimulation_relation(lts, initial=[0, 1])
+
+
+def test_relation_agrees_with_partition():
+    relation = {(0, 0), (1, 1), (2, 2), (0, 1), (1, 0)}
+    assert relation_agrees_with_partition(relation, [0, 0, 1]) is None
+    mismatch = relation_agrees_with_partition(relation, [0, 1, 2])
+    assert mismatch == (0, 1)
+
+
+@given(lts_strategy(max_states=5, max_transitions=8))
+def test_oracles_agree_with_engine_partitions(lts):
+    for relation_fn, partition_fn in (
+        (strong_bisimulation_relation, strong_partition),
+        (branching_bisimulation_relation, branching_partition),
+        (weak_bisimulation_relation, weak_partition),
+        (
+            divergence_sensitive_branching_relation,
+            lambda l: branching_partition(l, divergence=True),
+        ),
+    ):
+        mismatch = relation_agrees_with_partition(
+            relation_fn(lts), partition_fn(lts)
+        )
+        assert mismatch is None
+
+
+@given(lts_strategy(max_states=5, max_transitions=8))
+def test_oracle_relations_are_equivalences(lts):
+    n = lts.num_states
+    for relation_fn in (
+        strong_bisimulation_relation,
+        branching_bisimulation_relation,
+        weak_bisimulation_relation,
+        divergence_sensitive_branching_relation,
+    ):
+        rel = relation_fn(lts)
+        for s in range(n):
+            assert (s, s) in rel
+        assert all((t, s) in rel for s, t in rel)
+        assert all(
+            (s, u) in rel
+            for s, t in rel
+            for t2, u in rel
+            if t2 == t
+        )
