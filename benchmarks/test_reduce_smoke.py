@@ -1,0 +1,83 @@
+"""Bench smoke: the reduction pass must pay for itself.
+
+Runs the minimization + divergence-sensitive check of the two largest
+small-scale Table II/III pipelines (MS queue and HM list at 2x2) twice
+in the same process -- once with the silent-structure reduction pass
+enabled, once without -- against the *same* explored system.  Both
+verdicts must agree, and the reduced run must be strictly faster than
+the unreduced one measured in the same run (self-relative, so CI
+machine speed does not matter).  Per-variant stage timings and the
+reduce counters land in ``BENCH_pipeline.json`` via ``pipeline_stats``.
+"""
+
+import time
+
+import pytest
+
+from repro.core import branching_partition, compare_branching, quotient_lts
+from repro.lang import ClientConfig, explore
+from repro.objects import get
+
+#: (bench key, threads, ops) -- the largest pipelines at "small" scale.
+PIPELINES = [
+    ("ms_queue", 2, 2),
+    ("hm_list", 2, 2),
+]
+
+
+def _minimize_and_check(impl, reduce, stats):
+    """The verify-side stages of the Theorem 5.9 pipeline (no explore)."""
+    start = time.perf_counter()
+    with stats.stage("minimize"):
+        quotient = quotient_lts(
+            impl, branching_partition(impl, stats=stats, reduce=reduce)
+        )
+    with stats.stage("check"):
+        comparison = compare_branching(
+            impl, quotient.lts, divergence=True, stats=stats, reduce=reduce
+        )
+    seconds = time.perf_counter() - start
+    return comparison.equivalent, seconds
+
+
+@pytest.mark.parametrize(
+    "key,threads,ops", PIPELINES, ids=[f"{k}_{t}x{o}" for k, t, o in PIPELINES]
+)
+def test_reduction_speeds_up_pipeline(key, threads, ops, pipeline_stats, bench_out):
+    bench = get(key)
+    config = ClientConfig(
+        num_threads=threads, ops_per_thread=ops,
+        workload=bench.default_workload(),
+    )
+    impl = explore(bench.build(threads), config)
+
+    unreduced_stats = pipeline_stats(f"reduce-smoke/{key} {threads}x{ops} unreduced")
+    reduced_stats = pipeline_stats(f"reduce-smoke/{key} {threads}x{ops} reduced")
+    # Warm-up pass so allocator/caching effects do not bias either side.
+    _minimize_and_check(impl, reduce=True, stats=pipeline_stats(
+        f"reduce-smoke/{key} {threads}x{ops} warmup"
+    ))
+    verdict_plain, plain_s = _minimize_and_check(
+        impl, reduce=False, stats=unreduced_stats
+    )
+    verdict_reduced, reduced_s = _minimize_and_check(
+        impl, reduce=True, stats=reduced_stats
+    )
+
+    assert verdict_reduced == verdict_plain
+    removed = reduced_stats.stage_counters("minimize/reduce")
+    assert removed.get("states_removed", 0) > 0, (
+        "the reduction pass removed nothing on a tau-heavy pipeline"
+    )
+    speedup = plain_s / reduced_s if reduced_s else float("inf")
+    bench_out(
+        f"reduce_smoke_{key}_{threads}x{ops}",
+        f"reduce smoke {key} {threads}x{ops}: |D|={impl.num_states} "
+        f"unreduced={plain_s:.3f}s reduced={reduced_s:.3f}s "
+        f"speedup={speedup:.2f}x",
+    )
+    # Self-relative gate: same machine, same run, same inputs.
+    assert reduced_s < plain_s, (
+        f"reduction made the {key} pipeline slower: "
+        f"{reduced_s:.3f}s reduced vs {plain_s:.3f}s unreduced"
+    )

@@ -127,11 +127,12 @@ def cmd_verify(args) -> int:
         return sinks.setdefault(name, Stats())
 
     print(f"== {bench.title} | {args.threads} threads x {args.ops} ops ==")
+    reduce = not args.no_reduce
     lin = check_linearizability(
         bench.build(args.threads), bench.spec(),
         num_threads=args.threads, ops_per_thread=args.ops,
         workload=workload, max_states=args.max_states,
-        stats=sink("linearizability"),
+        stats=sink("linearizability"), reduce=reduce,
     )
     print(f"states {lin.impl_states} -> quotient {lin.impl_quotient_states} "
           f"({lin.reduction_factor:.1f}x)")
@@ -149,7 +150,7 @@ def cmd_verify(args) -> int:
         bench.build(args.threads),
         num_threads=args.threads, ops_per_thread=args.ops,
         workload=workload, max_states=args.max_states,
-        stats=sink("lock-freedom"),
+        stats=sink("lock-freedom"), reduce=reduce,
     )
     print(f"lock-free: {lock.lock_free}  ({lock.seconds:.2f}s)")
     if not lock.lock_free:
@@ -187,7 +188,10 @@ def cmd_quotient(args) -> int:
     stats = Stats() if _wants_stats(args) else None
     system = explore(bench.build(args.threads), config, stats=stats)
     with stage(stats, "quotient"):
-        quotient = quotient_lts(system, branching_partition(system, stats=stats))
+        quotient = quotient_lts(
+            system,
+            branching_partition(system, stats=stats, reduce=not args.no_reduce),
+        )
         if stats is not None:
             stats.count("impl_states", quotient.lts.num_states)
     write_aut(quotient.lts, args.out)
@@ -230,7 +234,10 @@ def cmd_compare(args) -> int:
         "strong": compare_strong,
     }[args.relation]
     if args.relation == "branching":
-        outcome = compare(left, right, divergence=args.divergence, stats=stats)
+        outcome = compare(
+            left, right, divergence=args.divergence, stats=stats,
+            reduce=args.reduce,
+        )
     else:
         outcome = compare(left, right, stats=stats)
     name = args.relation + ("-divergence" if args.divergence else "")
@@ -289,6 +296,8 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("key", choices=sorted(BENCHMARKS))
     _add_bounds(verify)
     _add_stats(verify)
+    verify.add_argument("--no-reduce", action="store_true",
+                        help="disable the silent-structure reduction pass")
 
     for name, help_text in (
         ("explore", "export the object system as .aut"),
@@ -299,6 +308,9 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--out", required=True)
         _add_bounds(sub)
         _add_stats(sub)
+        if name == "quotient":
+            sub.add_argument("--no-reduce", action="store_true",
+                             help="disable the silent-structure reduction pass")
 
     compare = commands.add_parser("compare", help="compare two .aut files")
     compare.add_argument("left")
@@ -308,6 +320,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="branching",
     )
     compare.add_argument("--divergence", action="store_true")
+    compare.add_argument("--reduce", action="store_true",
+                         help="compress silent structure before a "
+                              "branching comparison")
     _add_stats(compare)
 
     commands.add_parser("bugs", help="re-run the paper's bug hunts")

@@ -6,11 +6,23 @@ minimization, weak bisimulation, trace refinement with diagnostics,
 divergence detection) is implemented here on plain Python LTSs.
 """
 
-from .lts import LTS, LTSBuilder, TAU, TAU_ID, disjoint_union, make_lts, to_dot
+from .lts import (
+    LTS,
+    LTSBuilder,
+    TAU,
+    TAU_ID,
+    AnyLTS,
+    FrozenLTS,
+    disjoint_union,
+    ensure_frozen,
+    make_lts,
+    to_dot,
+)
 from .partition import (
     BlockMap,
     RefinementNotConverged,
     RefinementRun,
+    SignatureInterner,
     blocks_of,
     is_refinement,
     normalize,
@@ -21,6 +33,7 @@ from .partition import (
     refine_with_status,
     same_partition,
 )
+from .reduce import ReducedLTS, lift_partition, reduce_lts
 from .branching import (
     Comparison,
     DIVERGENCE_MARK,
@@ -61,9 +74,16 @@ __all__ = [
     "LTSBuilder",
     "TAU",
     "TAU_ID",
+    "AnyLTS",
+    "FrozenLTS",
     "disjoint_union",
+    "ensure_frozen",
     "make_lts",
     "to_dot",
+    "ReducedLTS",
+    "lift_partition",
+    "reduce_lts",
+    "SignatureInterner",
     "BlockMap",
     "RefinementNotConverged",
     "RefinementRun",

@@ -38,7 +38,7 @@ import io
 import re
 from typing import Any, Hashable, List, TextIO, Tuple, Union
 
-from .lts import LTS, TAU
+from .lts import LTS, TAU, AnyLTS
 
 #: Plain-text spellings parsed as the silent action.
 _TAU_SPELLINGS = ("i", "tau", "I")
@@ -125,7 +125,7 @@ def _parse_offer(text: str) -> Any:
         return text
 
 
-def write_aut(lts: LTS, target: Union[str, TextIO]) -> None:
+def write_aut(lts: AnyLTS, target: Union[str, TextIO]) -> None:
     """Write an LTS in Aldebaran format to a path or file object."""
     if isinstance(target, str):
         with open(target, "w") as handle:
@@ -145,7 +145,7 @@ def write_aut(lts: LTS, target: Union[str, TextIO]) -> None:
         target.write(f'({src}, "{rendered[aid]}", {dst})\n')
 
 
-def dumps_aut(lts: LTS) -> str:
+def dumps_aut(lts: AnyLTS) -> str:
     """Render an LTS to an AUT-format string."""
     buffer = io.StringIO()
     write_aut(lts, buffer)
@@ -200,9 +200,7 @@ def read_aut(source: Union[str, TextIO]) -> LTS:
             )
         if label_text.startswith('"') and label_text.endswith('"') and len(label_text) >= 2:
             label_text = _unescape(label_text[1:-1])
-        # Intern explicitly: add_transition would misread a small-int
-        # label (e.g. a parsed literal ``3``) as an action *id*.
-        lts.add_transition(src, lts.action_id(parse_label(label_text)), dst)
+        lts.add_transition_by_id(src, lts.action_id(parse_label(label_text)), dst)
     if lts.num_transitions != num_transitions:
         raise ValueError(
             f"AUT header promises {num_transitions} transitions, "

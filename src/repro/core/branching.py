@@ -16,16 +16,42 @@ divergence, re-evaluated on every sweep.
 The fixpoint of the sweep is the coarsest stable partition, i.e. the
 partition induced by the largest (divergence-sensitive) branching
 bisimulation.
+
+Two engine-level accelerations live here (both semantics-preserving):
+
+* signatures are *integer-coded* -- a step ``(a, block(t))`` becomes
+  the machine word ``a * num_blocks + block(t)`` and the per-state
+  sorted code tuple is interned to a dense int, so the refinement inner
+  loop hashes ints instead of frozensets of tuples
+  (:func:`_branching_signature_codes`; the frozenset-of-pairs form is
+  kept as :func:`_branching_signatures_ordered` for the diagnostics
+  layer and as an independent reference implementation);
+* the inert-candidate scan uses the frozen form's cached silent-edge
+  arrays instead of re-scanning every transition each sweep -- only
+  silent edges can be inert.
+
+``reduce=True`` additionally compresses the system with
+:func:`repro.core.reduce.reduce_lts` before refining and lifts the
+partition back through the compression map.  The pass is only applied
+when no seed partition is given: a seed may separate states the
+reduction merges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional
 
+from . import reduce as reduce_mod
 from .graphs import tarjan_scc
-from .lts import LTS, TAU_ID, disjoint_union
-from .partition import BlockMap, num_blocks, refine_to_fixpoint
+from .lts import TAU_ID, AnyLTS, FrozenLTS, disjoint_union, ensure_frozen
+from .partition import (
+    BlockMap,
+    SignatureInterner,
+    normalize,
+    num_blocks,
+    refine_to_fixpoint,
+)
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..util.metrics import Stats
@@ -33,9 +59,73 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Marker added to the signature of partition-relative divergent states.
 DIVERGENCE_MARK = ("__divergent__",)
 
+#: Integer code of the divergence marker in the coded signature form.
+DIVERGENCE_CODE = -1
 
-def _branching_signatures_ordered(lts: LTS, block_of: BlockMap, divergence: bool):
-    """One sweep of branching-bisimulation signatures, component-ordered."""
+
+def _branching_signature_codes(
+    lts: FrozenLTS,
+    block_of: BlockMap,
+    divergence: bool,
+    interner: SignatureInterner,
+) -> List[int]:
+    """One sweep of integer-coded branching signatures, component-ordered.
+
+    A step ``(a, block)`` is coded as ``a * nb + block`` (``nb`` = the
+    current block count); the divergence marker is
+    :data:`DIVERGENCE_CODE`.  Codes are only comparable within one
+    sweep, which is all :func:`repro.core.partition.refine_step` needs.
+    """
+    n = lts.num_states
+    nb = num_blocks(block_of)
+    tau_src, tau_dst = lts.tau_edges()
+    inert: List[List[int]] = [[] for _ in range(n)]
+    for src, dst in zip(tau_src, tau_dst):
+        if block_of[src] == block_of[dst]:
+            inert[src].append(dst)
+
+    comp_of, num_comps = tarjan_scc(n, inert.__getitem__)
+
+    members: List[List[int]] = [[] for _ in range(num_comps)]
+    for state in range(n):
+        members[comp_of[state]].append(state)
+
+    comp_sig: List[set] = [set() for _ in range(num_comps)]
+    for src, aid, dst in lts.transitions():
+        if aid == TAU_ID and block_of[src] == block_of[dst]:
+            continue
+        comp_sig[comp_of[src]].add(aid * nb + block_of[dst])
+
+    if divergence:
+        for comp in range(num_comps):
+            if len(members[comp]) > 1:
+                comp_sig[comp].add(DIVERGENCE_CODE)
+        for src in range(n):
+            for dst in inert[src]:
+                if comp_of[src] == comp_of[dst]:
+                    comp_sig[comp_of[src]].add(DIVERGENCE_CODE)
+
+    # Accumulate in increasing component id: successors are complete first.
+    for comp in range(num_comps):
+        sig = comp_sig[comp]
+        for src in members[comp]:
+            for dst in inert[src]:
+                dst_comp = comp_of[dst]
+                if dst_comp != comp:
+                    sig |= comp_sig[dst_comp]
+
+    interned = [interner.intern(tuple(sorted(sig))) for sig in comp_sig]
+    return [interned[comp_of[state]] for state in range(n)]
+
+
+def _branching_signatures_ordered(lts: AnyLTS, block_of: BlockMap, divergence: bool):
+    """One sweep of branching signatures as frozensets of ``(a, block)``.
+
+    The decoded reference form: independent of the coded fast path (it
+    re-scans all transitions), used by the diagnostics layer -- which
+    inspects individual signature elements -- and by the tests that pin
+    the fast path against it sweep-for-sweep.
+    """
     n = lts.num_states
     inert: List[List[int]] = [[] for _ in range(n)]
     for src, aid, dst in lts.transitions():
@@ -77,27 +167,40 @@ def _branching_signatures_ordered(lts: LTS, block_of: BlockMap, divergence: bool
 
 
 def branching_partition(
-    lts: LTS,
+    lts: AnyLTS,
     divergence: bool = False,
     initial: Optional[BlockMap] = None,
     stats: Optional["Stats"] = None,
+    reduce: bool = False,
 ) -> BlockMap:
     """Partition of the states of ``lts`` under branching bisimilarity.
 
     With ``divergence=True`` the partition is that of divergence-
-    sensitive branching bisimilarity (Definition 5.5).  An optional
-    :class:`~repro.util.metrics.Stats` sink times the refinement and
-    counts sweeps/splits; without one the code path is unchanged.
+    sensitive branching bisimilarity (Definition 5.5).  With
+    ``reduce=True`` (and no seed partition) the system is first
+    compressed by :func:`repro.core.reduce.reduce_lts` and the
+    partition of the compressed system is lifted back.  An optional
+    :class:`~repro.util.metrics.Stats` sink times the stages and counts
+    sweeps/splits; without one the code path is unchanged.
     """
+    frozen = ensure_frozen(lts)
+    if reduce and initial is None and frozen.num_states:
+        reduced = reduce_mod.reduce_lts(frozen, divergence=divergence, stats=stats)
+        inner = branching_partition(
+            reduced.lts, divergence=divergence, stats=stats
+        )
+        return normalize(reduce_mod.lift_partition(reduced, inner))
+
+    interner = SignatureInterner()
 
     def signature_fn(block_of: BlockMap):
-        return _branching_signatures_ordered(lts, block_of, divergence)
+        return _branching_signature_codes(frozen, block_of, divergence, interner)
 
     if stats is None:
-        return refine_to_fixpoint(lts.num_states, signature_fn, initial=initial)
+        return refine_to_fixpoint(frozen.num_states, signature_fn, initial=initial)
     with stats.stage("refinement"):
         block_of = refine_to_fixpoint(
-            lts.num_states, signature_fn, initial=initial, stats=stats
+            frozen.num_states, signature_fn, initial=initial, stats=stats
         )
         stats.count("blocks", num_blocks(block_of))
     return block_of
@@ -112,7 +215,7 @@ class Comparison:
     equivalent:
         Whether the two initial states are related.
     union:
-        The disjoint union the partition was computed on.
+        The disjoint union the partition was computed on (frozen).
     block_of:
         The partition of the union's states.
     init_a, init_b:
@@ -120,17 +223,18 @@ class Comparison:
     """
 
     equivalent: bool
-    union: LTS
+    union: FrozenLTS
     block_of: BlockMap
     init_a: int
     init_b: int
 
 
 def compare_branching(
-    a: LTS,
-    b: LTS,
+    a: AnyLTS,
+    b: AnyLTS,
     divergence: bool = False,
     stats: Optional["Stats"] = None,
+    reduce: bool = False,
 ) -> Comparison:
     """Decide ``a ~ b`` for (divergence-sensitive) branching bisimilarity.
 
@@ -138,7 +242,9 @@ def compare_branching(
     are related in the disjoint union (Section IV / Definition 5.5).
     """
     union, init_a, init_b = disjoint_union(a, b)
-    block_of = branching_partition(union, divergence=divergence, stats=stats)
+    block_of = branching_partition(
+        union, divergence=divergence, stats=stats, reduce=reduce
+    )
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],
         union=union,

@@ -21,11 +21,11 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable, List, Optional, Tuple
 
 from .branching import DIVERGENCE_MARK, _branching_signatures_ordered
-from .lts import LTS, TAU_ID, disjoint_union
+from .lts import TAU_ID, AnyLTS, disjoint_union
 from .partition import BlockMap, refine_step
 
 
-def _sweep_history(lts: LTS, divergence: bool) -> List[BlockMap]:
+def _sweep_history(lts: AnyLTS, divergence: bool) -> List[BlockMap]:
     """All intermediate partitions of the signature refinement."""
     history: List[BlockMap] = [[0] * lts.num_states]
     while True:
@@ -37,7 +37,7 @@ def _sweep_history(lts: LTS, divergence: bool) -> List[BlockMap]:
 
 
 def _inert_path_to_move(
-    lts: LTS,
+    lts: AnyLTS,
     block_of: BlockMap,
     start: int,
     action: int,
@@ -81,7 +81,7 @@ class Level:
     opponent_targets: List[int] = field(default_factory=list)
     chosen_opponent_target: Optional[int] = None
 
-    def render(self, lts: LTS) -> str:
+    def render(self, lts: AnyLTS) -> str:
         label = self.action
         if label == DIVERGENCE_MARK:
             label = "<divergence>"
@@ -103,7 +103,7 @@ class Explanation:
     """Chain of distinguishing moves (coarse to fine)."""
 
     levels: List[Level]
-    union: LTS
+    union: AnyLTS
 
     def render(self) -> str:
         lines = ["distinguishing experiment (branching bisimulation):"]
@@ -113,7 +113,7 @@ class Explanation:
 
 
 def explain_states(
-    lts: LTS,
+    lts: AnyLTS,
     left: int,
     right: int,
     divergence: bool = False,
@@ -194,8 +194,8 @@ def explain_states(
 
 
 def explain_inequivalence(
-    a: LTS,
-    b: LTS,
+    a: AnyLTS,
+    b: AnyLTS,
     divergence: bool = False,
 ) -> Optional[Explanation]:
     """Explain why two systems are not (div-)branching bisimilar."""

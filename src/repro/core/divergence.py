@@ -14,19 +14,25 @@ from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
 from .graphs import tarjan_scc
-from .lts import LTS, TAU_ID
+from .lts import TAU_ID, AnyLTS, FrozenLTS
 
 
-def tau_cycle_states(lts: LTS) -> List[int]:
+def _tau_pairs(lts: AnyLTS):
+    """Iterate the silent ``(src, dst)`` pairs (cached arrays when frozen)."""
+    if isinstance(lts, FrozenLTS):
+        return zip(*lts.tau_edges())
+    return ((s, d) for s, a, d in lts.transitions() if a == TAU_ID)
+
+
+def tau_cycle_states(lts: AnyLTS) -> List[int]:
     """States lying on a silent cycle."""
     n = lts.num_states
     tau_succ: List[List[int]] = [[] for _ in range(n)]
     self_loop = [False] * n
-    for src, aid, dst in lts.transitions():
-        if aid == TAU_ID:
-            tau_succ[src].append(dst)
-            if src == dst:
-                self_loop[src] = True
+    for src, dst in _tau_pairs(lts):
+        tau_succ[src].append(dst)
+        if src == dst:
+            self_loop[src] = True
     comp_of, num_comps = tarjan_scc(n, lambda s: tau_succ[s])
     size = [0] * num_comps
     for state in range(n):
@@ -38,13 +44,12 @@ def tau_cycle_states(lts: LTS) -> List[int]:
     ]
 
 
-def divergent_states(lts: LTS) -> List[bool]:
+def divergent_states(lts: AnyLTS) -> List[bool]:
     """States with an infinite silent path (can reach a silent cycle by taus)."""
     n = lts.num_states
     tau_pred: List[List[int]] = [[] for _ in range(n)]
-    for src, aid, dst in lts.transitions():
-        if aid == TAU_ID:
-            tau_pred[dst].append(src)
+    for src, dst in _tau_pairs(lts):
+        tau_pred[dst].append(src)
     marked = [False] * n
     queue = deque()
     for state in tau_cycle_states(lts):
@@ -98,7 +103,7 @@ class Lasso:
 
 
 def _shortest_path(
-    lts: LTS,
+    lts: AnyLTS,
     sources: List[int],
     targets: set,
     tau_only: bool = False,
@@ -143,7 +148,7 @@ def _shortest_path(
     return steps
 
 
-def _cycle_from(lts: LTS, state: int) -> List[Step]:
+def _cycle_from(lts: AnyLTS, state: int) -> List[Step]:
     """A silent cycle through ``state`` (which must lie on one)."""
     adj: List[List[Tuple[int, Any]]] = [[] for _ in range(lts.num_states)]
     for src, aid, dst, ann in lts.transitions_with_annotations():
@@ -183,7 +188,7 @@ def _cycle_from(lts: LTS, state: int) -> List[Step]:
     return steps
 
 
-def find_divergence_lasso(lts: LTS) -> Optional[Lasso]:
+def find_divergence_lasso(lts: AnyLTS) -> Optional[Lasso]:
     """A diagnostic lasso witnessing divergence, or ``None`` if lock-free.
 
     The stem is a shortest path from the initial state to a silent

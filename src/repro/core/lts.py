@@ -11,12 +11,33 @@ action id ``0`` reserved for ``tau``.  Transitions may carry an optional
 internal step); annotations are kept for diagnostics only and never
 contribute to action identity, so all internal steps are a single
 ``tau`` action exactly as the paper requires.
+
+The container comes in two forms:
+
+* :class:`LTS` -- the mutable *builder*: append transitions, intern
+  actions, grow the state space.  Adjacency is materialized lazily and
+  invalidated on every mutation, so it is the right shape for
+  construction (state-space exploration, ``.aut`` parsing, tests) and
+  the wrong shape for analysis.
+* :class:`FrozenLTS` -- the immutable analysis form produced by
+  :meth:`LTS.freeze`: transitions live in dense CSR (compressed sparse
+  row) ``array('q')`` index/offset layouts, sorted by ``(src, action,
+  dst)`` with duplicates merged, plus a mirrored predecessor CSR and a
+  cached silent-edge slice.  Membership tests are binary searches, the
+  per-source successor slice is contiguous, and every equivalence
+  engine in :mod:`repro.core` runs on this form.
+
+Both forms answer the same read-only query API, so code that only
+inspects a system accepts either; :func:`ensure_frozen` is the cheap
+normalization used at every analysis entry point.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left, bisect_right
 from collections import deque
-from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple, Union
 
 #: The canonical label of the silent action.
 TAU: Tuple[str, ...] = ("tau",)
@@ -26,7 +47,7 @@ TAU_ID: int = 0
 
 
 class LTS:
-    """A finite labelled transition system.
+    """A finite labelled transition system (the mutable builder form).
 
     Attributes
     ----------
@@ -101,13 +122,28 @@ class LTS:
     ) -> None:
         """Add the transition ``src --label--> dst``.
 
-        ``label`` may be the raw action label or an already-interned
-        action id (an ``int`` that is a valid id).
+        ``label`` is always interned verbatim -- an ``int`` label is an
+        integer-valued *action label*, never an action id (use
+        :meth:`add_transition_by_id` for already-interned ids).
         """
-        if isinstance(label, int) and 0 <= label < len(self.action_labels):
-            aid = label
-        else:
-            aid = self.action_id(label)
+        self._append(src, self.action_id(label), dst, annotation)
+
+    def add_transition_by_id(
+        self,
+        src: int,
+        aid: int,
+        dst: int,
+        annotation: Any = None,
+    ) -> None:
+        """Add ``src --aid--> dst`` for an already-interned action id."""
+        if not 0 <= aid < len(self.action_labels):
+            raise ValueError(
+                f"action id {aid} is not interned "
+                f"(have {len(self.action_labels)} actions)"
+            )
+        self._append(src, aid, dst, annotation)
+
+    def _append(self, src: int, aid: int, dst: int, annotation: Any) -> None:
         needed = max(src, dst) + 1
         if needed > self._num_states:
             self._num_states = needed
@@ -198,49 +234,362 @@ class LTS:
     # ------------------------------------------------------------------
     def reachable_states(self) -> List[int]:
         """States reachable from the initial state, in BFS order."""
-        if self._num_states == 0:
-            return []
-        seen = [False] * self._num_states
-        seen[self.init] = True
-        order = [self.init]
-        queue = deque(order)
-        while queue:
-            s = queue.popleft()
-            for _aid, dst in self.successors(s):
-                if not seen[dst]:
-                    seen[dst] = True
-                    order.append(dst)
-                    queue.append(dst)
-        return order
+        return _reachable_states(self)
 
     def restrict_reachable(self) -> "LTS":
         """Return a copy restricted to the states reachable from ``init``."""
-        order = self.reachable_states()
-        remap = {old: new for new, old in enumerate(order)}
-        out = LTS()
-        out.add_states(len(order))
-        out.init = remap[self.init]
-        for src, aid, dst, ann in self.transitions_with_annotations():
-            if src in remap and dst in remap:
-                out.add_transition(remap[src], self.action_labels[aid], remap[dst], ann)
-        return out
+        return _restrict_reachable(self, LTS)
 
     def relabel(self, mapping: Callable[[Hashable], Hashable]) -> "LTS":
         """Return a copy with every action label passed through ``mapping``."""
-        out = LTS()
-        out.add_states(self._num_states)
-        out.init = self.init
-        for src, aid, dst, ann in self.transitions_with_annotations():
-            out.add_transition(src, mapping(self.action_labels[aid]), dst, ann)
-        return out
+        return _relabel(self, mapping, LTS)
 
     def copy(self) -> "LTS":
         """Return a structural copy."""
         return self.relabel(lambda label: label)
 
+    def thaw(self) -> "LTS":
+        """Return a mutable copy (symmetric with :meth:`FrozenLTS.thaw`)."""
+        return self.copy()
 
-def disjoint_union(a: LTS, b: LTS) -> Tuple[LTS, int, int]:
-    """Combine ``a`` and ``b`` into one LTS with disjoint state spaces.
+    def freeze(self) -> "FrozenLTS":
+        """Build the immutable CSR form of this system.
+
+        Transitions are sorted by ``(src, action, dst)`` and duplicates
+        are merged; annotations of merged duplicates are kept as a
+        tuple of the distinct non-``None`` values.
+        """
+        return FrozenLTS(self)
+
+
+class FrozenLTS:
+    """Immutable CSR form of an LTS (the analysis form).
+
+    Layout: the deduplicated transitions sorted by ``(src, action,
+    dst)`` live in three parallel ``array('q')`` columns with an
+    ``n+1``-entry row-offset array per source state, and the mirror
+    (sorted by ``(dst, action, src)``) backs the predecessor queries.
+    Within a source's slice the silent action (id 0) sorts first, so
+    the tau out-edges of a state are a prefix of its slice and the
+    silent sub-relation is available as two flat arrays without any
+    per-query filtering.
+
+    The read-only query API is identical to :class:`LTS`; mutation
+    methods do not exist, and :meth:`action_id` refuses to intern new
+    labels.
+    """
+
+    __slots__ = (
+        "init",
+        "action_labels",
+        "_action_ids",
+        "_num_states",
+        "_esrc",
+        "_eact",
+        "_edst",
+        "_ptr",
+        "_pact",
+        "_psrc",
+        "_pptr",
+        "_eann",
+        "_tau_src",
+        "_tau_dst",
+        "_tau_adj",
+    )
+
+    def __init__(self, source: LTS) -> None:
+        self.init: int = source.init
+        self.action_labels: List[Hashable] = list(source.action_labels)
+        self._action_ids: Dict[Hashable, int] = dict(source._action_ids)
+        n = source.num_states
+        self._num_states: int = n
+
+        triples = sorted(zip(source._src, source._act, source._dst,
+                             range(source.num_transitions)))
+        anns = source._ann
+        any_ann = any(a is not None for a in anns)
+
+        esrc = array("q")
+        eact = array("q")
+        edst = array("q")
+        eann: Optional[List[Optional[Tuple[Any, ...]]]] = [] if any_ann else None
+        last: Optional[Tuple[int, int, int]] = None
+        for src, act, dst, index in triples:
+            key = (src, act, dst)
+            if key == last:
+                if eann is not None:
+                    ann = anns[index]
+                    if ann is not None:
+                        merged = eann[-1] or ()
+                        if ann not in merged:
+                            eann[-1] = merged + (ann,)
+                continue
+            last = key
+            esrc.append(src)
+            eact.append(act)
+            edst.append(dst)
+            if eann is not None:
+                ann = anns[index]
+                eann.append((ann,) if ann is not None else None)
+        self._esrc = esrc
+        self._eact = eact
+        self._edst = edst
+        self._eann = eann
+
+        self._ptr = _offsets(n, esrc)
+
+        mirror = sorted(zip(edst, eact, esrc))
+        pdst = array("q")
+        pact = array("q")
+        psrc = array("q")
+        for dst, act, src in mirror:
+            pdst.append(dst)
+            pact.append(act)
+            psrc.append(src)
+        self._pact = pact
+        self._psrc = psrc
+        self._pptr = _offsets(n, pdst)
+
+        tau_src = array("q")
+        tau_dst = array("q")
+        for src, act, dst in zip(esrc, eact, edst):
+            if act == TAU_ID:
+                tau_src.append(src)
+                tau_dst.append(dst)
+        self._tau_src = tau_src
+        self._tau_dst = tau_dst
+        self._tau_adj: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    # basic queries (same API as the builder)
+    # ------------------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return self._num_states
+
+    @property
+    def num_transitions(self) -> int:
+        return len(self._esrc)
+
+    @property
+    def num_actions(self) -> int:
+        return len(self.action_labels)
+
+    def action_id(self, label: Hashable) -> int:
+        """Look up an already-interned label (frozen systems cannot intern)."""
+        aid = self._action_ids.get(label)
+        if aid is None:
+            raise ValueError(
+                f"frozen LTS cannot intern new action label {label!r}; "
+                "thaw() first"
+            )
+        return aid
+
+    def lookup_action(self, label: Hashable) -> Optional[int]:
+        """Return the action id of ``label`` or ``None`` if never used."""
+        return self._action_ids.get(label)
+
+    def transitions(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over all transitions as ``(src, action_id, dst)``."""
+        return zip(self._esrc, self._eact, self._edst)
+
+    def transitions_with_annotations(self) -> Iterator[Tuple[int, int, int, Any]]:
+        """Iterate over ``(src, action_id, dst, annotation)`` tuples.
+
+        A merged duplicate edge that collapsed several distinct
+        annotations is yielded once per annotation, so diagnostic
+        consumers (thread recovery, essential internal steps) see every
+        annotation that existed before deduplication.
+        """
+        eann = self._eann
+        if eann is None:
+            for src, act, dst in zip(self._esrc, self._eact, self._edst):
+                yield src, act, dst, None
+            return
+        for index, (src, act, dst) in enumerate(
+            zip(self._esrc, self._eact, self._edst)
+        ):
+            anns = eann[index]
+            if anns is None:
+                yield src, act, dst, None
+            else:
+                for ann in anns:
+                    yield src, act, dst, ann
+
+    def edge_annotations(self, index: int) -> Tuple[Any, ...]:
+        """Distinct annotations merged into the ``index``-th CSR edge."""
+        if self._eann is None or self._eann[index] is None:
+            return ()
+        return self._eann[index]
+
+    def has_transition(self, src: int, aid: int, dst: int) -> bool:
+        """Binary search for ``src --aid--> dst`` in the sorted slice."""
+        if not 0 <= src < self._num_states:
+            return False
+        lo, hi = self._ptr[src], self._ptr[src + 1]
+        lo = bisect_left(self._eact, aid, lo, hi)
+        hi = bisect_right(self._eact, aid, lo, hi)
+        index = bisect_left(self._edst, dst, lo, hi)
+        return index < hi and self._edst[index] == dst
+
+    def successor_slice(self, state: int) -> Tuple[int, int]:
+        """CSR bounds ``(lo, hi)`` of the out-edges of ``state``."""
+        return self._ptr[state], self._ptr[state + 1]
+
+    def successors(self, state: int) -> List[Tuple[int, int]]:
+        """All ``(action_id, dst)`` pairs leaving ``state``."""
+        lo, hi = self._ptr[state], self._ptr[state + 1]
+        eact, edst = self._eact, self._edst
+        return [(eact[i], edst[i]) for i in range(lo, hi)]
+
+    def predecessors(self, state: int) -> List[Tuple[int, int]]:
+        """All ``(action_id, src)`` pairs entering ``state``."""
+        lo, hi = self._pptr[state], self._pptr[state + 1]
+        pact, psrc = self._pact, self._psrc
+        return [(pact[i], psrc[i]) for i in range(lo, hi)]
+
+    def successors_by_action(self, state: int, aid: int) -> List[int]:
+        """Targets of ``state --aid--> .`` (a contiguous CSR sub-slice)."""
+        lo, hi = self._ptr[state], self._ptr[state + 1]
+        lo = bisect_left(self._eact, aid, lo, hi)
+        hi = bisect_right(self._eact, aid, lo, hi)
+        return list(self._edst[lo:hi])
+
+    def tau_successors(self, state: int) -> List[int]:
+        """Targets of tau transitions leaving ``state`` (slice prefix)."""
+        lo, hi = self._ptr[state], self._ptr[state + 1]
+        hi = bisect_right(self._eact, TAU_ID, lo, hi)
+        return list(self._edst[lo:hi])
+
+    def visible_successors(self, state: int) -> List[Tuple[int, int]]:
+        """Non-tau ``(action_id, dst)`` pairs leaving ``state``."""
+        lo, hi = self._ptr[state], self._ptr[state + 1]
+        lo = bisect_right(self._eact, TAU_ID, lo, hi)
+        eact, edst = self._eact, self._edst
+        return [(eact[i], edst[i]) for i in range(lo, hi)]
+
+    def enabled_actions(self, state: int) -> frozenset:
+        """The set of action ids enabled in ``state``."""
+        lo, hi = self._ptr[state], self._ptr[state + 1]
+        return frozenset(self._eact[lo:hi])
+
+    # ------------------------------------------------------------------
+    # cached silent sub-relation (shared by every tau-analysis consumer)
+    # ------------------------------------------------------------------
+    def tau_edges(self) -> Tuple[array, array]:
+        """The silent edges as flat ``(sources, targets)`` arrays."""
+        return self._tau_src, self._tau_dst
+
+    def edge_arrays(self) -> Tuple[array, array, array]:
+        """The raw CSR columns ``(sources, action_ids, targets)``.
+
+        Sorted by ``(source, action, target)`` and duplicate-free; the
+        arrays are the frozen system's own storage -- callers must not
+        mutate them.
+        """
+        return self._esrc, self._eact, self._edst
+
+    def tau_adjacency(self) -> List[List[int]]:
+        """Per-state tau successor lists (built once, then cached)."""
+        if self._tau_adj is None:
+            adj: List[List[int]] = [[] for _ in range(self._num_states)]
+            for src, dst in zip(self._tau_src, self._tau_dst):
+                adj[src].append(dst)
+            self._tau_adj = adj
+        return self._tau_adj
+
+    # ------------------------------------------------------------------
+    # derived systems
+    # ------------------------------------------------------------------
+    def reachable_states(self) -> List[int]:
+        """States reachable from the initial state, in BFS order."""
+        return _reachable_states(self)
+
+    def restrict_reachable(self) -> "FrozenLTS":
+        """Restriction to the states reachable from ``init`` (frozen)."""
+        return _restrict_reachable(self, LTS).freeze()
+
+    def relabel(self, mapping: Callable[[Hashable], Hashable]) -> "FrozenLTS":
+        """Copy with every action label passed through ``mapping``."""
+        return _relabel(self, mapping, LTS).freeze()
+
+    def copy(self) -> "FrozenLTS":
+        """Frozen systems are immutable: a copy is the system itself."""
+        return self
+
+    def freeze(self) -> "FrozenLTS":
+        """Already frozen: the identity."""
+        return self
+
+    def thaw(self) -> LTS:
+        """Return a mutable builder copy of this system."""
+        return _relabel(self, lambda label: label, LTS)
+
+
+#: Either form of the container; analysis code accepts both.
+AnyLTS = Union[LTS, FrozenLTS]
+
+
+def ensure_frozen(lts: AnyLTS) -> FrozenLTS:
+    """Normalize to the CSR form (the identity on frozen inputs)."""
+    if isinstance(lts, FrozenLTS):
+        return lts
+    return lts.freeze()
+
+
+def _offsets(num_states: int, sorted_column: array) -> array:
+    """Row-offset array of a CSR layout from its sorted leading column."""
+    counts = [0] * (num_states + 1)
+    for value in sorted_column:
+        counts[value + 1] += 1
+    total = 0
+    ptr = array("q", [0] * (num_states + 1))
+    for index in range(num_states + 1):
+        total += counts[index]
+        ptr[index] = total
+    return ptr
+
+
+def _reachable_states(lts: AnyLTS) -> List[int]:
+    if lts.num_states == 0:
+        return []
+    seen = [False] * lts.num_states
+    seen[lts.init] = True
+    order = [lts.init]
+    queue = deque(order)
+    while queue:
+        s = queue.popleft()
+        for _aid, dst in lts.successors(s):
+            if not seen[dst]:
+                seen[dst] = True
+                order.append(dst)
+                queue.append(dst)
+    return order
+
+
+def _restrict_reachable(lts: AnyLTS, cls: type) -> LTS:
+    order = _reachable_states(lts)
+    remap = {old: new for new, old in enumerate(order)}
+    out = cls()
+    out.add_states(len(order))
+    out.init = remap[lts.init]
+    for src, aid, dst, ann in lts.transitions_with_annotations():
+        if src in remap and dst in remap:
+            out.add_transition(remap[src], lts.action_labels[aid], remap[dst], ann)
+    return out
+
+
+def _relabel(lts: AnyLTS, mapping: Callable[[Hashable], Hashable], cls: type) -> LTS:
+    out = cls()
+    out.add_states(lts.num_states)
+    out.init = lts.init
+    for src, aid, dst, ann in lts.transitions_with_annotations():
+        out.add_transition(src, mapping(lts.action_labels[aid]), dst, ann)
+    return out
+
+
+def disjoint_union(a: AnyLTS, b: AnyLTS) -> Tuple[FrozenLTS, int, int]:
+    """Combine ``a`` and ``b`` into one frozen LTS with disjoint states.
 
     Returns ``(union, init_a, init_b)`` where ``init_a`` / ``init_b``
     are the images of the two initial states.  The union's own ``init``
@@ -256,7 +605,7 @@ def disjoint_union(a: LTS, b: LTS) -> Tuple[LTS, int, int]:
     for src, aid, dst, ann in b.transitions_with_annotations():
         out.add_transition(src + offset, b.action_labels[aid], dst + offset, ann)
     out.init = a.init
-    return out, a.init, b.init + offset
+    return out.freeze(), a.init, b.init + offset
 
 
 class LTSBuilder:
@@ -313,7 +662,8 @@ def make_lts(
     """Convenience constructor used heavily by the tests.
 
     ``transitions`` is an iterable of ``(src, label, dst)`` where a
-    label of ``"tau"`` or :data:`TAU` denotes the silent action.
+    label of ``"tau"`` or :data:`TAU` denotes the silent action.  The
+    result is the mutable builder form; call ``.freeze()`` for CSR.
     """
     lts = LTS()
     lts.add_states(num_states)
@@ -325,7 +675,18 @@ def make_lts(
     return lts
 
 
-def to_dot(lts: LTS, name: str = "lts", max_states: int = 2000) -> str:
+def _dot_escape(text: str) -> str:
+    """Escape a label for a double-quoted DOT string."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\r\n", "\\n")
+        .replace("\n", "\\n")
+        .replace("\r", "\\n")
+    )
+
+
+def to_dot(lts: AnyLTS, name: str = "lts", max_states: int = 2000) -> str:
     """Render an LTS in GraphViz DOT format (for small systems)."""
     if lts.num_states > max_states:
         raise ValueError(
@@ -337,7 +698,6 @@ def to_dot(lts: LTS, name: str = "lts", max_states: int = 2000) -> str:
     for src, aid, dst in lts.transitions():
         label = lts.action_labels[aid]
         text = "tau" if aid == TAU_ID else str(label)
-        text = text.replace('"', "'")
-        lines.append(f'  {src} -> {dst} [label="{text}"];')
+        lines.append(f'  {src} -> {dst} [label="{_dot_escape(text)}"];')
     lines.append("}")
     return "\n".join(lines)

@@ -87,6 +87,33 @@ def is_refinement(fine: BlockMap, coarse: BlockMap) -> bool:
     return True
 
 
+class SignatureInterner:
+    """Intern hashable signatures to dense integers across sweeps.
+
+    The signature engines encode a state's signature as a sorted tuple
+    of integer ``(action, block)`` codes; the interner maps each
+    distinct tuple to a small ``int`` so :func:`refine_step` hashes
+    machine words instead of re-hashing tuples of tuples.  One interner
+    lives per refinement run -- ids are only meaningful within it.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self) -> None:
+        self._table: Dict[Hashable, int] = {}
+
+    def intern(self, signature: Hashable) -> int:
+        table = self._table
+        sid = table.get(signature)
+        if sid is None:
+            sid = len(table)
+            table[signature] = sid
+        return sid
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
 def refine_step(block_of: BlockMap, signatures: Sequence[Hashable]) -> Tuple[BlockMap, bool]:
     """Split every block by signature.  Returns ``(partition, changed)``."""
     table: Dict[Tuple[int, Hashable], int] = {}

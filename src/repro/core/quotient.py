@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, FrozenSet, List, Set, Tuple
 
-from .lts import LTS, TAU_ID
+from .lts import LTS, TAU_ID, AnyLTS, FrozenLTS
 from .partition import BlockMap, num_blocks
 
 
@@ -29,7 +29,7 @@ class Quotient:
     Attributes
     ----------
     lts:
-        The quotient transition system.
+        The quotient transition system (frozen).
     block_of:
         Map from original states to quotient states.
     annotations:
@@ -37,7 +37,7 @@ class Quotient:
         of annotations of the concrete transitions it collapses.
     """
 
-    lts: LTS
+    lts: FrozenLTS
     block_of: BlockMap
     annotations: Dict[Tuple[int, int, int], Set[Any]] = field(default_factory=dict)
 
@@ -56,7 +56,7 @@ class Quotient:
         return out
 
 
-def quotient_lts(lts: LTS, block_of: BlockMap) -> Quotient:
+def quotient_lts(lts: AnyLTS, block_of: BlockMap) -> Quotient:
     """Build the quotient transition system of Definition 5.1.
 
     ``block_of`` is any partition of the states of ``lts`` (normally the
@@ -98,5 +98,7 @@ def quotient_lts(lts: LTS, block_of: BlockMap) -> Quotient:
                     (src, aid, dst), set()
                 )
         block_map = [remap.get(block_of[s], -1) for s in range(len(block_of))]
-        return Quotient(lts=trimmed, block_of=block_map, annotations=new_annotations)
-    return Quotient(lts=out, block_of=list(block_of), annotations=annotations)
+        return Quotient(
+            lts=trimmed.freeze(), block_of=block_map, annotations=new_annotations
+        )
+    return Quotient(lts=out.freeze(), block_of=list(block_of), annotations=annotations)

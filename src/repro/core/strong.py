@@ -10,15 +10,21 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
-from .lts import LTS, disjoint_union
-from .partition import BlockMap, num_blocks, refine_to_fixpoint
+from .lts import AnyLTS, disjoint_union, ensure_frozen
+from .partition import (
+    BlockMap,
+    SignatureInterner,
+    num_blocks,
+    refine_to_fixpoint,
+)
 from .branching import Comparison
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..util.metrics import Stats
 
 
-def _strong_signatures(lts: LTS, block_of: BlockMap):
+def _strong_signatures(lts: AnyLTS, block_of: BlockMap):
+    """Per-state frozensets of ``(action, block)`` (reference form)."""
     n = lts.num_states
     sigs: List[set] = [set() for _ in range(n)]
     for src, aid, dst in lts.transitions():
@@ -26,27 +32,41 @@ def _strong_signatures(lts: LTS, block_of: BlockMap):
     return [frozenset(sig) for sig in sigs]
 
 
+def _strong_signature_codes(
+    lts: AnyLTS, block_of: BlockMap, interner: SignatureInterner
+) -> List[int]:
+    """Integer-coded strong signatures (``a * nb + block`` words, interned)."""
+    n = lts.num_states
+    nb = num_blocks(block_of)
+    sigs: List[set] = [set() for _ in range(n)]
+    for src, aid, dst in lts.transitions():
+        sigs[src].add(aid * nb + block_of[dst])
+    return [interner.intern(tuple(sorted(sig))) for sig in sigs]
+
+
 def strong_partition(
-    lts: LTS,
+    lts: AnyLTS,
     initial: Optional[BlockMap] = None,
     stats: Optional["Stats"] = None,
 ) -> BlockMap:
     """Partition of the states of ``lts`` under strong bisimilarity."""
+    frozen = ensure_frozen(lts)
+    interner = SignatureInterner()
 
     def signature_fn(block_of: BlockMap):
-        return _strong_signatures(lts, block_of)
+        return _strong_signature_codes(frozen, block_of, interner)
 
     if stats is None:
-        return refine_to_fixpoint(lts.num_states, signature_fn, initial=initial)
+        return refine_to_fixpoint(frozen.num_states, signature_fn, initial=initial)
     with stats.stage("refinement"):
         block_of = refine_to_fixpoint(
-            lts.num_states, signature_fn, initial=initial, stats=stats
+            frozen.num_states, signature_fn, initial=initial, stats=stats
         )
         stats.count("blocks", num_blocks(block_of))
     return block_of
 
 
-def compare_strong(a: LTS, b: LTS, stats: Optional["Stats"] = None) -> Comparison:
+def compare_strong(a: AnyLTS, b: AnyLTS, stats: Optional["Stats"] = None) -> Comparison:
     """Decide whether two LTSs are strongly bisimilar."""
     union, init_a, init_b = disjoint_union(a, b)
     block_of = strong_partition(union, stats=stats)

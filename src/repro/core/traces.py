@@ -31,16 +31,18 @@ from typing import (
 )
 
 from .graphs import reachability_closure
-from .lts import LTS, TAU_ID
+from .lts import TAU_ID, AnyLTS, FrozenLTS
 from .partition import BlockMap, partition_from_key, refine_to_fixpoint
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..util.metrics import Stats
 
 
-def state_tau_closures(lts: LTS) -> List[frozenset]:
+def state_tau_closures(lts: AnyLTS) -> List[frozenset]:
     """Per state, the set of states reachable by zero or more taus."""
     n = lts.num_states
+    if isinstance(lts, FrozenLTS):
+        return reachability_closure(n, lts.tau_adjacency())
     tau_succ: List[List[int]] = [[] for _ in range(n)]
     for src, aid, dst in lts.transitions():
         if aid == TAU_ID:
@@ -72,7 +74,7 @@ class RefinementResult:
 
 
 def trace_refines(
-    impl: LTS, spec: LTS, stats: Optional["Stats"] = None
+    impl: AnyLTS, spec: AnyLTS, stats: Optional["Stats"] = None
 ) -> RefinementResult:
     """Decide ``impl ⊑_tr spec`` (Definition 2.2), with counterexample.
 
@@ -94,7 +96,7 @@ def trace_refines(
 
 
 def _trace_refines(
-    impl: LTS, spec: LTS, stats: Optional["Stats"]
+    impl: AnyLTS, spec: AnyLTS, stats: Optional["Stats"]
 ) -> RefinementResult:
     spec_closures = state_tau_closures(spec)
 
@@ -182,7 +184,7 @@ def _count_refinement(stats: "Stats", visited: Dict, parents: Dict) -> None:
     stats.count("antichain_size", sum(len(chain) for chain in visited.values()))
 
 
-def trace_equivalent(a: LTS, b: LTS) -> bool:
+def trace_equivalent(a: AnyLTS, b: AnyLTS) -> bool:
     """Whether two systems have the same trace sets (mutual refinement)."""
     return trace_refines(a, b).holds and trace_refines(b, a).holds
 
@@ -194,7 +196,7 @@ def trace_equivalent(a: LTS, b: LTS) -> bool:
 SymbolFn = Callable[[int, int, int], Optional[Hashable]]
 
 
-def language_partition(lts: LTS, symbol_of: SymbolFn) -> BlockMap:
+def language_partition(lts: AnyLTS, symbol_of: SymbolFn) -> BlockMap:
     """Group states by the language of an on-the-fly relabelled system.
 
     ``symbol_of(src, action_id, dst)`` maps each transition to an output
@@ -273,7 +275,7 @@ def language_partition(lts: LTS, symbol_of: SymbolFn) -> BlockMap:
     return partition_from_key([dfa_blocks[start_of_state[s]] for s in range(n)])
 
 
-def trace_partition(lts: LTS) -> BlockMap:
+def trace_partition(lts: AnyLTS) -> BlockMap:
     """Partition of states by ordinary trace equivalence (1-traces)."""
     return language_partition(
         lts,

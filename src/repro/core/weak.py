@@ -11,7 +11,8 @@ Signatures are computed over the *saturated* transition relation
     s  =======> u iff   s ==tau*==> u                        (silent)
 
 which is partition-independent, so the tau-closures are computed once
-via SCC condensation and reused across sweeps.
+via SCC condensation and reused across sweeps.  Per-sweep signatures
+are integer-coded and interned like the branching engine's.
 """
 
 from __future__ import annotations
@@ -19,21 +20,35 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional
 
 from .graphs import tarjan_scc
-from .lts import LTS, TAU_ID, disjoint_union
-from .partition import BlockMap, num_blocks, refine_to_fixpoint
-from .branching import Comparison, DIVERGENCE_MARK
+from .lts import TAU_ID, AnyLTS, FrozenLTS, disjoint_union, ensure_frozen
+from .partition import (
+    BlockMap,
+    SignatureInterner,
+    num_blocks,
+    refine_to_fixpoint,
+)
+from .branching import Comparison, DIVERGENCE_CODE
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..util.metrics import Stats
 
 
-def tau_closures(lts: LTS) -> List[frozenset]:
-    """For every state, the set of states reachable by zero or more taus."""
+def _tau_successor_lists(lts: AnyLTS) -> List[List[int]]:
+    """Per-state silent successor lists (cached arrays on frozen inputs)."""
+    if isinstance(lts, FrozenLTS):
+        return lts.tau_adjacency()
     n = lts.num_states
     tau_succ: List[List[int]] = [[] for _ in range(n)]
     for src, aid, dst in lts.transitions():
         if aid == TAU_ID:
             tau_succ[src].append(dst)
+    return tau_succ
+
+
+def tau_closures(lts: AnyLTS) -> List[frozenset]:
+    """For every state, the set of states reachable by zero or more taus."""
+    n = lts.num_states
+    tau_succ = _tau_successor_lists(lts)
     comp_of, num_comps = tarjan_scc(n, lambda s: tau_succ[s])
     members: List[List[int]] = [[] for _ in range(num_comps)]
     for state in range(n):
@@ -49,7 +64,7 @@ def tau_closures(lts: LTS) -> List[frozenset]:
     return [frozenset(comp_reach[comp_of[state]]) for state in range(n)]
 
 
-def _weak_step_sets(lts: LTS, closures: List[frozenset]) -> List[frozenset]:
+def _weak_step_sets(lts: AnyLTS, closures: List[frozenset]) -> List[frozenset]:
     """Per state, the saturated visible steps ``{(action, target)}``."""
     n = lts.num_states
     # V[u]: visible steps from u itself, targets saturated by trailing taus.
@@ -68,15 +83,17 @@ def _weak_step_sets(lts: LTS, closures: List[frozenset]) -> List[frozenset]:
     return out
 
 
-def _divergence_marks(lts: LTS, block_of: BlockMap) -> List[bool]:
+def _divergence_marks(lts: AnyLTS, block_of: BlockMap) -> List[bool]:
     """Partition-relative divergence (Definition 5.4): a state is marked
     iff it can reach, through silent steps that stay inside its block,
     a silent cycle inside that block."""
     n = lts.num_states
+    tau_succ = _tau_successor_lists(lts)
     inert: List[List[int]] = [[] for _ in range(n)]
-    for src, aid, dst in lts.transitions():
-        if aid == TAU_ID and block_of[src] == block_of[dst]:
-            inert[src].append(dst)
+    for src in range(n):
+        for dst in tau_succ[src]:
+            if block_of[src] == block_of[dst]:
+                inert[src].append(dst)
     comp_of, num_comps = tarjan_scc(n, lambda s: inert[s])
     members: List[List[int]] = [[] for _ in range(num_comps)]
     for state in range(n):
@@ -100,7 +117,7 @@ def _divergence_marks(lts: LTS, block_of: BlockMap) -> List[bool]:
 
 
 def weak_partition(
-    lts: LTS,
+    lts: AnyLTS,
     divergence: bool = False,
     initial: Optional[BlockMap] = None,
     stats: Optional["Stats"] = None,
@@ -110,22 +127,28 @@ def weak_partition(
     With ``divergence=True`` this is weak bisimulation with explicit
     divergence (the variant mentioned alongside Table VII).
     """
+    frozen = ensure_frozen(lts)
 
     def run() -> BlockMap:
-        closures = tau_closures(lts)
-        weak_steps = _weak_step_sets(lts, closures)
-        n = lts.num_states
+        closures = tau_closures(frozen)
+        weak_steps = _weak_step_sets(frozen, closures)
+        n = frozen.num_states
+        interner = SignatureInterner()
 
         def signatures(block_of: BlockMap):
-            marks = _divergence_marks(lts, block_of) if divergence else None
+            nb = num_blocks(block_of)
+            marks = _divergence_marks(frozen, block_of) if divergence else None
             sigs = []
             for state in range(n):
-                acc = {(aid, block_of[target]) for aid, target in weak_steps[state]}
+                acc = {
+                    aid * nb + block_of[target]
+                    for aid, target in weak_steps[state]
+                }
                 for target in closures[state]:
-                    acc.add((TAU_ID, block_of[target]))
+                    acc.add(TAU_ID * nb + block_of[target])
                 if marks is not None and marks[state]:
-                    acc.add(DIVERGENCE_MARK)
-                sigs.append(frozenset(acc))
+                    acc.add(DIVERGENCE_CODE)
+                sigs.append(interner.intern(tuple(sorted(acc))))
             return sigs
 
         return refine_to_fixpoint(n, signatures, initial=initial, stats=stats)
@@ -139,8 +162,8 @@ def weak_partition(
 
 
 def compare_weak(
-    a: LTS,
-    b: LTS,
+    a: AnyLTS,
+    b: AnyLTS,
     divergence: bool = False,
     stats: Optional["Stats"] = None,
 ) -> Comparison:

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
-from ..core.lts import LTS
+from ..core.lts import LTS, AnyLTS
 from .buchi import Buchi, ltl_to_buchi
 from .syntax import AP, Not
 
@@ -24,9 +24,9 @@ from .syntax import AP, Not
 DEADLOCK: Tuple[str, ...] = ("deadlock",)
 
 
-def stutter_complete(lts: LTS) -> LTS:
-    """Copy of ``lts`` with a DEADLOCK self-loop on terminal states."""
-    out = lts.copy()
+def stutter_complete(lts: "AnyLTS") -> LTS:
+    """Mutable copy of ``lts`` with a DEADLOCK self-loop on terminal states."""
+    out = lts.thaw()
     for state in range(lts.num_states):
         if not lts.successors(state):
             out.add_transition(state, DEADLOCK, state)

@@ -30,6 +30,7 @@ from ..core import (
     branching_partition,
     is_refinement,
     quotient_lts,
+    same_partition,
     strong_partition,
     trace_refines,
     weak_partition,
@@ -40,11 +41,16 @@ from ..core.partition import BlockMap
 from ..lang.client import StateExplosion
 from . import generators, laws, oracles
 
-#: Engine partition per relation name.
+#: Engine partition per relation name.  The branching engines run with
+#: the silent-structure reduction pass *enabled*, so every fuzz run
+#: oracle-validates the reduced pipeline end to end; the unreduced path
+#: is pinned against it separately by :func:`check_reduction`.
 ENGINE_PARTITIONS: Dict[str, Callable[[LTS], BlockMap]] = {
     "strong": strong_partition,
-    "branching": branching_partition,
-    "branching-div": lambda lts: branching_partition(lts, divergence=True),
+    "branching": lambda lts: branching_partition(lts, reduce=True),
+    "branching-div": lambda lts: branching_partition(
+        lts, divergence=True, reduce=True
+    ),
     "weak": weak_partition,
 }
 
@@ -179,6 +185,41 @@ def check_seeded_refinement(
     return out
 
 
+#: Reduced-vs-unreduced pairs checked by :func:`check_reduction`.
+REDUCTION_RELATIONS: Dict[str, bool] = {
+    "branching-reduced": False,
+    "branching-div-reduced": True,
+}
+
+
+def check_reduction(
+    lts: LTS, relations: Optional[List[str]] = None
+) -> List[Disagreement]:
+    """Reduced vs. unreduced engine on the same instance.
+
+    The reduction pass must be invisible: the partition computed on the
+    compressed system and lifted back has to induce exactly the
+    equivalence the unreduced engine computes, for both plain and
+    divergence-sensitive branching bisimilarity.
+    """
+    out: List[Disagreement] = []
+    for name in relations or list(REDUCTION_RELATIONS):
+        divergence = REDUCTION_RELATIONS[name]
+        plain = branching_partition(lts, divergence=divergence)
+        reduced = branching_partition(lts, divergence=divergence, reduce=True)
+        if not same_partition(plain, reduced):
+            out.append(Disagreement(
+                kind="reduction",
+                name=name,
+                detail=(
+                    "reduced-engine partition differs from the unreduced "
+                    f"one: {reduced} vs {plain}"
+                ),
+                lts=lts,
+            ))
+    return out
+
+
 def check_trace_refinement(impl: LTS, spec: LTS) -> List[Disagreement]:
     """Engine vs. brute-force trace inclusion, both the verdict and the
     counterexample (which must be a trace of ``impl`` but not ``spec``)."""
@@ -229,6 +270,7 @@ def check_instance(
     out: List[Disagreement] = []
     if lts.num_states <= oracle_state_limit:
         out.extend(check_equivalences(lts))
+    out.extend(check_reduction(lts))
     out.extend(check_seeded_refinement(lts, oracle_state_limit=oracle_state_limit))
     if include_laws:
         for name, message in laws.check_laws(lts):
@@ -321,19 +363,21 @@ def _mutate_drop_block_id() -> Iterator[None]:
 @contextmanager
 def _mutate_skip_divergence_mark() -> Iterator[None]:
     """Divergence-sensitive signatures silently lose their divergence
-    marker, collapsing the variant into plain branching bisimulation."""
+    marker, collapsing the variant into plain branching bisimulation.
+    Targets the integer-coded fast path the engine actually refines
+    with (the decoded form is diagnostics-only)."""
     from ..core import branching as B
 
-    original = B._branching_signatures_ordered
+    original = B._branching_signature_codes
 
-    def buggy(lts, block_of, divergence):
-        return original(lts, block_of, False)
+    def buggy(lts, block_of, divergence, interner):
+        return original(lts, block_of, False, interner)
 
-    B._branching_signatures_ordered = buggy
+    B._branching_signature_codes = buggy
     try:
         yield
     finally:
-        B._branching_signatures_ordered = original
+        B._branching_signature_codes = original
 
 
 @contextmanager
@@ -354,10 +398,31 @@ def _mutate_truncate_tau_closure() -> Iterator[None]:
         W.tau_closures = original
 
 
+@contextmanager
+def _mutate_reduce_ignore_divergence() -> Iterator[None]:
+    """The reduction pass ignores its ``divergence`` flag: silent cycles
+    are condensed without marks and confluent edges may cross out of a
+    divergent class, so the lifted divergence-sensitive partition
+    collapses divergent states into non-divergent ones."""
+    from ..core import reduce as R
+
+    original = R.reduce_lts
+
+    def buggy(lts, divergence=False, stats=None):
+        return original(lts, divergence=False, stats=stats)
+
+    R.reduce_lts = buggy
+    try:
+        yield
+    finally:
+        R.reduce_lts = original
+
+
 MUTATIONS: Dict[str, Callable[[], object]] = {
     "drop-block-id": _mutate_drop_block_id,
     "skip-divergence-mark": _mutate_skip_divergence_mark,
     "truncate-tau-closure": _mutate_truncate_tau_closure,
+    "reduce-ignore-divergence": _mutate_reduce_ignore_divergence,
 }
 
 
@@ -432,6 +497,8 @@ def _shrink_disagreement(disagreement: Disagreement) -> LTS:
     def still_fails(candidate: LTS) -> bool:
         if disagreement.kind == "relation":
             return bool(check_equivalences(candidate, [disagreement.name]))
+        if disagreement.kind == "reduction":
+            return bool(check_reduction(candidate, [disagreement.name]))
         if disagreement.kind == "seeded":
             return bool(check_seeded_refinement(candidate, [disagreement.name]))
         if disagreement.kind == "law":
@@ -509,8 +576,8 @@ def run_fuzz(
             report.instances += 1
             found = check_instance(lts, oracle_state_limit=oracle_state_limit)
             report.checks += (
-                len(ENGINE_PARTITIONS) + len(SEEDED_RELATIONS)
-                + len(laws.ALL_LAWS) + 2
+                len(ENGINE_PARTITIONS) + len(REDUCTION_RELATIONS)
+                + len(SEEDED_RELATIONS) + len(laws.ALL_LAWS) + 2
             )
             if found:
                 report.disagreements.extend(found)

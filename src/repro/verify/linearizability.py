@@ -15,9 +15,6 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable, List, Optional
 
 from ..core import (
-    LTS,
-    Quotient,
-    RefinementResult,
     branching_partition,
     quotient_lts,
     trace_refines,
@@ -80,17 +77,21 @@ def check_linearizability(
     workload: Optional[Workload] = None,
     max_states: Optional[int] = None,
     stats: Optional[Stats] = None,
+    reduce: bool = True,
 ) -> LinearizabilityResult:
     """Run the full Theorem 5.3 pipeline for one object.
 
     Generates the object system and the specification system under the
     same most-general client, quotients both under branching
     bisimilarity, and checks trace refinement between the quotients.
+    ``reduce`` (default on) compresses silent structure with
+    :func:`repro.core.reduce.reduce_lts` before each refinement; the
+    partitions it yields are identical, only faster to compute.
 
     With a :class:`~repro.util.metrics.Stats` sink the pipeline records
-    ``explore`` / ``spec`` / ``quotient`` (with a nested ``refinement``)
-    / ``check`` stages plus state, transition and sweep counters; the
-    sink is attached to the result as ``result.stats``.
+    ``explore`` / ``spec`` / ``quotient`` (with nested ``reduce`` /
+    ``refinement``) / ``check`` stages plus state, transition and sweep
+    counters; the sink is attached to the result as ``result.stats``.
     """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
@@ -108,9 +109,12 @@ def check_linearizability(
     )
     t1 = time.perf_counter()
     with stage(stats, "quotient"):
-        impl_quotient = quotient_lts(impl, branching_partition(impl, stats=stats))
+        impl_quotient = quotient_lts(
+            impl, branching_partition(impl, stats=stats, reduce=reduce)
+        )
         spec_quotient = quotient_lts(
-            spec_system, branching_partition(spec_system, stats=stats)
+            spec_system,
+            branching_partition(spec_system, stats=stats, reduce=reduce),
         )
         if stats is not None:
             stats.count("impl_states", impl_quotient.lts.num_states)

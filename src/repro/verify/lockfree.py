@@ -62,6 +62,7 @@ def check_lock_freedom_auto(
     max_states: Optional[int] = None,
     method: str = "union",
     stats: Optional[Stats] = None,
+    reduce: bool = True,
 ) -> LockFreedomResult:
     """Theorem 5.9: fully automatic lock-freedom check.
 
@@ -81,6 +82,9 @@ def check_lock_freedom_auto(
       ``Delta`` has no reachable silent cycle.  One refinement pass
       instead of two -- used for the largest bench instances.  The
       test-suite checks both methods agree on every benchmark.
+
+    ``reduce`` (default on) compresses silent structure before each
+    refinement; it changes timings only, never verdicts.
     """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
@@ -95,13 +99,15 @@ def check_lock_freedom_auto(
     t0 = time.perf_counter()
     impl = explore(program, config, stats=stats)
     with stage(stats, "quotient"):
-        quotient = quotient_lts(impl, branching_partition(impl, stats=stats))
+        quotient = quotient_lts(
+            impl, branching_partition(impl, stats=stats, reduce=reduce)
+        )
         if stats is not None:
             stats.count("impl_states", quotient.lts.num_states)
     with stage(stats, "check"):
         if method == "union":
             comparison = compare_branching(
-                impl, quotient.lts, divergence=True, stats=stats
+                impl, quotient.lts, divergence=True, stats=stats, reduce=reduce
             )
             lock_free = comparison.equivalent
         else:
@@ -153,6 +159,7 @@ def check_lock_freedom_abstract(
     workload: Optional[Workload] = None,
     max_states: Optional[int] = None,
     stats: Optional[Stats] = None,
+    reduce: bool = True,
 ) -> AbstractLockFreedomResult:
     """Theorem 5.8: prove ``concrete ~div abstract``, check the abstract.
 
@@ -172,7 +179,8 @@ def check_lock_freedom_abstract(
     abstract_system = explore(abstract, config, stats=stats)
     with stage(stats, "check"):
         comparison = compare_branching(
-            concrete, abstract_system, divergence=True, stats=stats
+            concrete, abstract_system, divergence=True, stats=stats,
+            reduce=reduce,
         )
         abstract_lock_free: Optional[bool] = None
         if comparison.equivalent:

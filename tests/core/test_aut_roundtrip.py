@@ -59,9 +59,7 @@ def random_lts(draw):
     lts.add_states(num_states)
     lts.init = init
     for src, label, dst in edges:
-        # Intern via action_id: a bare small-int label would be taken
-        # as an already-interned action id by add_transition.
-        lts.add_transition(src, lts.action_id(label), dst)
+        lts.add_transition_by_id(src, lts.action_id(label), dst)
     return lts
 
 

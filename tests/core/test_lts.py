@@ -2,7 +2,17 @@
 
 import pytest
 
-from repro.core import LTS, LTSBuilder, TAU, TAU_ID, disjoint_union, make_lts, to_dot
+from repro.core import (
+    LTS,
+    LTSBuilder,
+    TAU,
+    TAU_ID,
+    FrozenLTS,
+    disjoint_union,
+    ensure_frozen,
+    make_lts,
+    to_dot,
+)
 
 
 def test_tau_is_action_zero():
@@ -29,11 +39,25 @@ def test_add_transition_grows_state_space():
     assert lts.num_transitions == 1
 
 
-def test_add_transition_accepts_interned_id():
+def test_add_transition_always_interns_labels():
+    # An int label is a *label*, never an action id -- the old ambiguity
+    # collided with int-valued labels parsed back from .aut files.
     lts = LTS()
     aid = lts.action_id("a")
     lts.add_transition(0, aid, 1)
+    assert lts.action_labels[next(lts.transitions())[1]] == aid
+    assert lts.lookup_action(aid) is not None
+
+
+def test_add_transition_by_id():
+    lts = LTS()
+    aid = lts.action_id("a")
+    lts.add_transition_by_id(0, aid, 1)
     assert [(s, a, d) for s, a, d in lts.transitions()] == [(0, aid, 1)]
+    with pytest.raises(ValueError):
+        lts.add_transition_by_id(0, 99, 1)
+    with pytest.raises(ValueError):
+        lts.add_transition_by_id(0, -1, 1)
 
 
 def test_successors_and_predecessors():
@@ -123,3 +147,84 @@ def test_empty_lts_reachability():
     lts = LTS()
     assert lts.reachable_states() == []
     assert lts.num_states == 0
+
+
+# ----------------------------------------------------------------------
+# FrozenLTS: CSR layout, dedup, membership, annotations
+# ----------------------------------------------------------------------
+
+def test_freeze_sorts_and_answers_same_queries():
+    lts = make_lts(
+        4, 0,
+        [(1, "b", 2), (0, "a", 1), (0, "tau", 2), (0, "a", 3), (3, "tau", 0)],
+    )
+    frozen = lts.freeze()
+    assert isinstance(frozen, FrozenLTS)
+    triples = list(frozen.transitions())
+    assert triples == sorted(triples)
+    a = frozen.lookup_action("a")
+    assert frozen.successors(0) == sorted(lts.successors(0))
+    assert sorted(frozen.predecessors(2)) == sorted(lts.predecessors(2))
+    assert frozen.tau_successors(0) == [2]
+    assert frozen.visible_successors(0) == [(a, 1), (a, 3)]
+    assert frozen.successors_by_action(0, a) == [1, 3]
+    assert frozen.enabled_actions(0) == lts.enabled_actions(0)
+    # BFS order may differ (frozen slices are (action, dst)-sorted).
+    assert set(frozen.reachable_states()) == set(lts.reachable_states())
+
+
+def test_freeze_dedupes_duplicate_transitions():
+    lts = make_lts(2, 0, [(0, "a", 1), (0, "a", 1), (0, "a", 1), (0, "tau", 1)])
+    frozen = lts.freeze()
+    assert lts.num_transitions == 4
+    assert frozen.num_transitions == 2
+    assert frozen.has_transition(0, frozen.action_id("a"), 1)
+    assert frozen.has_transition(0, TAU_ID, 1)
+    assert not frozen.has_transition(1, TAU_ID, 0)
+    assert not frozen.has_transition(-1, TAU_ID, 0)
+
+
+def test_freeze_merges_distinct_annotations():
+    lts = LTS()
+    lts.add_transition(0, TAU, 1, annotation="t1.L8")
+    lts.add_transition(0, TAU, 1, annotation="t2.L8")
+    lts.add_transition(0, TAU, 1, annotation="t1.L8")
+    lts.add_transition(0, "a", 1)
+    frozen = lts.freeze()
+    assert frozen.num_transitions == 2
+    rows = list(frozen.transitions_with_annotations())
+    tau_rows = [row for row in rows if row[1] == TAU_ID]
+    assert [ann for _, _, _, ann in tau_rows] == ["t1.L8", "t2.L8"]
+    assert frozen.edge_annotations(0) == ("t1.L8", "t2.L8")
+
+
+def test_frozen_is_immutable_and_copy_is_identity():
+    frozen = make_lts(2, 0, [(0, "a", 1)]).freeze()
+    assert frozen.copy() is frozen
+    assert frozen.freeze() is frozen
+    assert ensure_frozen(frozen) is frozen
+    assert not hasattr(frozen, "add_transition")
+    with pytest.raises(ValueError):
+        frozen.action_id("never-interned")
+
+
+def test_thaw_round_trip():
+    lts = make_lts(3, 1, [(0, "a", 1), (1, "tau", 2)])
+    thawed = lts.freeze().thaw()
+    assert isinstance(thawed, LTS)
+    thawed.add_transition(2, "new-label", 0)
+    assert thawed.num_transitions == 3
+    assert thawed.init == 1
+    assert sorted(thawed.transitions()) == sorted(
+        list(lts.transitions()) + [(2, thawed.action_id("new-label"), 0)]
+    )
+
+
+def test_to_dot_escapes_backslashes_and_newlines():
+    lts = make_lts(2, 0, [(0, 'quo"te', 1), (0, "back\\slash", 1), (0, "new\nline", 1)])
+    dot = to_dot(lts)
+    assert '\\"' in dot            # quotes escaped, not rewritten to "'"
+    assert "\\\\slash" in dot      # backslash doubled
+    assert "new\\nline" in dot     # newline becomes the two chars \n
+    for line in dot.splitlines():
+        assert "\n" not in line.replace("\\n", "")
