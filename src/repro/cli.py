@@ -4,15 +4,30 @@ Subcommands::
 
     list                         the 14 benchmarks and expected verdicts
     verify <key>                 run linearizability + progress checks
+    lin <key>                    linearizability only (three-valued verdict)
+    lockfree <key>               lock-freedom only (three-valued verdict)
     explore <key> --out F.aut    export the object system (AUT format)
     quotient <key> --out F.aut   export its branching-bisim quotient
     compare A.aut B.aut          compare two LTSs up to an equivalence
     bugs                         re-run the paper's bug hunts
     fuzz                         differential-test the engine vs oracles
 
+The long-running commands accept run-budget flags (``--deadline``,
+``--max-rss-mb``) and degrade gracefully: on exhaustion they print a
+structured ``UNKNOWN`` verdict naming the phase, the limit hit and the
+progress made, and exit 2 (``--degrade`` retries once with reduction
+forced on and a smaller workload first).  Exit codes are 0/1/2 for
+TRUE/FALSE/UNKNOWN and 130 after a SIGINT -- partial ``--stats`` /
+``--json`` output is flushed either way.  ``explore`` additionally
+supports ``--checkpoint PATH`` / ``--resume PATH``.
+See docs/ROBUSTNESS.md.
+
 Examples::
 
     python -m repro verify ms_queue --threads 2 --ops 2
+    python -m repro lin ms_queue --deadline 60 --degrade
+    python -m repro lockfree treiber --max-rss-mb 2048
+    python -m repro explore ms_queue --ops 3 --out ms.aut --checkpoint ms.ckpt
     python -m repro quotient treiber --out treiber.aut
     python -m repro compare impl.aut spec.aut --relation trace
     python -m repro fuzz --seed 0 --n 200
@@ -37,13 +52,28 @@ from .core import (
 )
 from .core.aut import read_aut, write_aut
 from .lang import ClientConfig, explore
+from .lang.checkpoint import CheckpointSink, load_checkpoint
 from .objects import BENCHMARKS, get
 from .util import Stats, render_table, stage
+from .util.budget import (
+    EXIT_INTERRUPTED,
+    EXIT_UNKNOWN,
+    REASON_INTERRUPTED,
+    UNKNOWN,
+    BudgetExhausted,
+    RunBudget,
+    exit_code_for,
+)
 from .verify import (
     check_linearizability,
     check_lock_freedom_auto,
     check_obstruction_freedom,
 )
+
+#: ``(args, sinks)`` of the command currently collecting metrics, so a
+#: KeyboardInterrupt in :func:`main` can flush partial ``--stats`` /
+#: ``--json`` output before exiting 130.
+_ACTIVE_SINKS = None
 
 
 def _add_bounds(parser: argparse.ArgumentParser) -> None:
@@ -61,12 +91,41 @@ def _add_stats(parser: argparse.ArgumentParser) -> None:
                         help="dump the same metrics as JSON to PATH")
 
 
+def _add_budget(parser: argparse.ArgumentParser, degrade: bool = False) -> None:
+    parser.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock budget; exhaustion yields UNKNOWN "
+                             "(exit 2), never a crash")
+    parser.add_argument("--max-rss-mb", type=int, default=None, metavar="MB",
+                        help="peak-RSS budget in megabytes")
+    if degrade:
+        parser.add_argument("--degrade", action="store_true",
+                            help="on exhaustion, retry once with reduction "
+                                 "forced on and a smaller workload")
+
+
+def _budget_from(args) -> RunBudget:
+    max_rss_mb = getattr(args, "max_rss_mb", None)
+    return RunBudget(
+        deadline_seconds=getattr(args, "deadline", None),
+        max_rss_kb=max_rss_mb * 1024 if max_rss_mb else None,
+    )
+
+
+def _verdict_exit(result) -> int:
+    exhaustion = getattr(result, "exhaustion", None)
+    if exhaustion is not None and exhaustion.reason == REASON_INTERRUPTED:
+        return EXIT_INTERRUPTED
+    return exit_code_for(result.verdict)
+
+
 def _wants_stats(args) -> bool:
     return bool(args.stats) or args.json is not None
 
 
 def _emit_stats(args, sinks: Dict[str, Stats]) -> None:
     """Print and/or dump the collected per-pipeline metrics."""
+    global _ACTIVE_SINKS
+    _ACTIVE_SINKS = None
     if args.stats:
         for name, sink in sinks.items():
             print()
@@ -117,64 +176,212 @@ def cmd_list(_args) -> int:
     return 0
 
 
-def cmd_verify(args) -> int:
-    bench, workload, _config = _bench_and_config(args)
+def _make_sinks(args):
+    """A named-sink factory registered for interrupt-time flushing."""
+    global _ACTIVE_SINKS
     sinks: Dict[str, Stats] = {}
+    _ACTIVE_SINKS = (args, sinks)
 
     def sink(name: str) -> Optional[Stats]:
         if not _wants_stats(args):
             return None
         return sinks.setdefault(name, Stats())
 
+    return sinks, sink
+
+
+def _report_exhaustion(name: str, result) -> None:
+    print(f"{name}: UNKNOWN -- {result.exhaustion.render()}")
+
+
+def cmd_verify(args) -> int:
+    bench, workload, _config = _bench_and_config(args)
+    sinks, sink = _make_sinks(args)
+    budget = _budget_from(args)
+
     print(f"== {bench.title} | {args.threads} threads x {args.ops} ops ==")
     reduce = not args.no_reduce
-    lin = check_linearizability(
-        bench.build(args.threads), bench.spec(),
-        num_threads=args.threads, ops_per_thread=args.ops,
-        workload=workload, max_states=args.max_states,
-        stats=sink("linearizability"), reduce=reduce,
-    )
-    print(f"states {lin.impl_states} -> quotient {lin.impl_quotient_states} "
-          f"({lin.reduction_factor:.1f}x)")
-    print(f"linearizable: {lin.linearizable}  ({lin.total_seconds:.2f}s)")
-    if not lin.linearizable:
-        print(lin.render_counterexample())
-    failed = not lin.linearizable
+    verdicts = []
+    with budget.install_sigint():
+        lin = check_linearizability(
+            bench.build(args.threads), bench.spec(),
+            num_threads=args.threads, ops_per_thread=args.ops,
+            workload=workload, max_states=args.max_states,
+            stats=sink("linearizability"), reduce=reduce, budget=budget,
+        )
+        if lin.exhaustion is not None:
+            _report_exhaustion("linearizable", lin)
+        else:
+            print(f"states {lin.impl_states} -> quotient "
+                  f"{lin.impl_quotient_states} ({lin.reduction_factor:.1f}x)")
+            print(f"linearizable: {lin.linearizable}  "
+                  f"({lin.total_seconds:.2f}s)")
+            if not lin.linearizable:
+                print(lin.render_counterexample())
+        verdicts.append(lin)
 
-    if bench.expect_lock_free is None:
-        print("lock-freedom: skipped (lock-based algorithm)")
-        _emit_stats(args, sinks)
-        return 1 if failed else 0
+        if bench.expect_lock_free is None:
+            print("lock-freedom: skipped (lock-based algorithm)")
+            _emit_stats(args, sinks)
+            return _combined_exit(verdicts)
 
-    lock = check_lock_freedom_auto(
-        bench.build(args.threads),
-        num_threads=args.threads, ops_per_thread=args.ops,
-        workload=workload, max_states=args.max_states,
-        stats=sink("lock-freedom"), reduce=reduce,
-    )
-    print(f"lock-free: {lock.lock_free}  ({lock.seconds:.2f}s)")
-    if not lock.lock_free:
-        print(lock.render_diagnostic())
-        failed = True
+        lock = check_lock_freedom_auto(
+            bench.build(args.threads),
+            num_threads=args.threads, ops_per_thread=args.ops,
+            workload=workload, max_states=args.max_states,
+            stats=sink("lock-freedom"), reduce=reduce, budget=budget,
+        )
+        if lock.exhaustion is not None:
+            _report_exhaustion("lock-free", lock)
+        else:
+            print(f"lock-free: {lock.lock_free}  ({lock.seconds:.2f}s)")
+            if not lock.lock_free:
+                print(lock.render_diagnostic())
+        verdicts.append(lock)
 
-    obstruction = check_obstruction_freedom(
-        bench.build(args.threads),
-        num_threads=args.threads, ops_per_thread=args.ops,
-        workload=workload, max_states=args.max_states,
-        stats=sink("obstruction-freedom"),
-    )
-    print(f"obstruction-free: {obstruction.obstruction_free}  "
-          f"({obstruction.seconds:.2f}s)")
-    if not obstruction.obstruction_free:
-        print(obstruction.render_diagnostic())
+        obstruction = check_obstruction_freedom(
+            bench.build(args.threads),
+            num_threads=args.threads, ops_per_thread=args.ops,
+            workload=workload, max_states=args.max_states,
+            stats=sink("obstruction-freedom"), budget=budget,
+        )
+        if obstruction.exhaustion is not None:
+            _report_exhaustion("obstruction-free", obstruction)
+        else:
+            print(f"obstruction-free: {obstruction.obstruction_free}  "
+                  f"({obstruction.seconds:.2f}s)")
+            if not obstruction.obstruction_free:
+                print(obstruction.render_diagnostic())
+        verdicts.append(obstruction)
     _emit_stats(args, sinks)
-    return 1 if failed else 0
+    return _combined_exit(verdicts)
+
+
+def _combined_exit(results) -> int:
+    """FALSE (1) dominates UNKNOWN (2) dominates TRUE (0); SIGINT wins."""
+    codes = [_verdict_exit(result) for result in results]
+    if EXIT_INTERRUPTED in codes:
+        return EXIT_INTERRUPTED
+    if 1 in codes:
+        return 1
+    if EXIT_UNKNOWN in codes:
+        return EXIT_UNKNOWN
+    return 0
+
+
+def _print_lin(result, label: str = "linearizable") -> None:
+    if result.exhaustion is not None:
+        _report_exhaustion(label, result)
+        return
+    print(f"states {result.impl_states} -> quotient "
+          f"{result.impl_quotient_states} ({result.reduction_factor:.1f}x)")
+    print(f"{label}: {result.verdict}  ({result.total_seconds:.2f}s)")
+    if result.linearizable is False:
+        print(result.render_counterexample())
+
+
+def cmd_lin(args) -> int:
+    """Linearizability with budget governance and a degradation ladder."""
+    bench, workload, _config = _bench_and_config(args)
+    sinks, sink = _make_sinks(args)
+    budget = _budget_from(args)
+    print(f"== {bench.title} | linearizability | "
+          f"{args.threads} threads x {args.ops} ops ==")
+
+    def attempt(ops: int, force_reduce: bool):
+        return check_linearizability(
+            bench.build(args.threads), bench.spec(),
+            num_threads=args.threads, ops_per_thread=ops,
+            workload=workload, max_states=args.max_states,
+            stats=sink(f"linearizability ops={ops}"),
+            reduce=force_reduce or not args.no_reduce,
+            budget=budget,
+        )
+
+    with budget.install_sigint():
+        result = attempt(args.ops, False)
+        _print_lin(result)
+        result = _degrade_retry(args, budget, result, attempt, _print_lin)
+    _emit_stats(args, sinks)
+    return _verdict_exit(result)
+
+
+def _degrade_retry(args, budget, result, attempt, printer):
+    """The degradation ladder: one retry, reduction on, smaller workload."""
+    if (
+        not getattr(args, "degrade", False)
+        or result.verdict != UNKNOWN
+        or result.exhaustion.reason == REASON_INTERRUPTED
+    ):
+        return result
+    retry_ops = max(1, args.ops - 1)
+    print(f"degrade: retrying with reduction forced on and --ops {retry_ops}")
+    budget.restart()
+    retry = attempt(retry_ops, True)
+    printer(retry, "degraded verdict")
+    return retry
+
+
+def cmd_lockfree(args) -> int:
+    """Lock-freedom with budget governance and a degradation ladder."""
+    bench, workload, _config = _bench_and_config(args)
+    sinks, sink = _make_sinks(args)
+    budget = _budget_from(args)
+    print(f"== {bench.title} | lock-freedom | "
+          f"{args.threads} threads x {args.ops} ops ==")
+
+    def attempt(ops: int, force_reduce: bool):
+        return check_lock_freedom_auto(
+            bench.build(args.threads),
+            num_threads=args.threads, ops_per_thread=ops,
+            workload=workload, max_states=args.max_states,
+            method=args.method,
+            stats=sink(f"lock-freedom ops={ops}"),
+            reduce=force_reduce or not args.no_reduce,
+            budget=budget,
+        )
+
+    def printer(result, label: str = "lock-free") -> None:
+        if result.exhaustion is not None:
+            _report_exhaustion(label, result)
+            return
+        print(f"{label}: {result.verdict}  ({result.seconds:.2f}s)")
+        if result.lock_free is False:
+            print(result.render_diagnostic())
+
+    with budget.install_sigint():
+        result = attempt(args.ops, False)
+        printer(result)
+        result = _degrade_retry(args, budget, result, attempt, printer)
+    _emit_stats(args, sinks)
+    return _verdict_exit(result)
 
 
 def cmd_explore(args) -> int:
+    global _ACTIVE_SINKS
     bench, _workload, config = _bench_and_config(args)
     stats = Stats() if _wants_stats(args) else None
-    system = explore(bench.build(args.threads), config, stats=stats)
+    if stats is not None:
+        _ACTIVE_SINKS = (args, {"explore": stats})
+    budget = _budget_from(args)
+    sink = CheckpointSink(args.checkpoint) if args.checkpoint else None
+    resume = load_checkpoint(args.resume) if args.resume else None
+    with budget.install_sigint():
+        try:
+            system = explore(
+                bench.build(args.threads), config, stats=stats,
+                budget=budget, checkpoint=sink, resume=resume,
+            )
+        except BudgetExhausted as exc:
+            print(f"UNKNOWN -- {exc.exhaustion.render()}")
+            if sink is not None and sink.saves:
+                print(f"checkpoint left at {args.checkpoint} "
+                      f"(resume with --resume {args.checkpoint})")
+            if stats is not None:
+                _emit_stats(args, {"explore": stats})
+            if exc.exhaustion.reason == REASON_INTERRUPTED:
+                return EXIT_INTERRUPTED
+            return EXIT_UNKNOWN
     write_aut(system, args.out)
     print(f"{bench.key}: {system.num_states} states, "
           f"{system.num_transitions} transitions -> {args.out}")
@@ -184,16 +391,34 @@ def cmd_explore(args) -> int:
 
 
 def cmd_quotient(args) -> int:
+    global _ACTIVE_SINKS
     bench, _workload, config = _bench_and_config(args)
     stats = Stats() if _wants_stats(args) else None
-    system = explore(bench.build(args.threads), config, stats=stats)
-    with stage(stats, "quotient"):
-        quotient = quotient_lts(
-            system,
-            branching_partition(system, stats=stats, reduce=not args.no_reduce),
-        )
-        if stats is not None:
-            stats.count("impl_states", quotient.lts.num_states)
+    if stats is not None:
+        _ACTIVE_SINKS = (args, {"quotient": stats})
+    budget = _budget_from(args)
+    with budget.install_sigint():
+        try:
+            system = explore(
+                bench.build(args.threads), config, stats=stats, budget=budget
+            )
+            with stage(stats, "quotient"):
+                quotient = quotient_lts(
+                    system,
+                    branching_partition(
+                        system, stats=stats, reduce=not args.no_reduce,
+                        budget=budget,
+                    ),
+                )
+        except BudgetExhausted as exc:
+            print(f"UNKNOWN -- {exc.exhaustion.render()}")
+            if stats is not None:
+                _emit_stats(args, {"quotient": stats})
+            if exc.exhaustion.reason == REASON_INTERRUPTED:
+                return EXIT_INTERRUPTED
+            return EXIT_UNKNOWN
+    if stats is not None:
+        stats.count("impl_states", quotient.lts.num_states)
     write_aut(quotient.lts, args.out)
     print(f"{bench.key}: {system.num_states} states -> quotient "
           f"{quotient.lts.num_states} states -> {args.out}")
@@ -267,6 +492,7 @@ def cmd_fuzz(args) -> int:
         max_states=args.max_states,
         tau_density=args.tau_density,
         time_budget=args.time_budget,
+        instance_deadline=args.instance_deadline,
         corpus_dir=args.corpus,
         use_programs=not args.no_programs,
         mutate=args.mutate,
@@ -298,6 +524,24 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stats(verify)
     verify.add_argument("--no-reduce", action="store_true",
                         help="disable the silent-structure reduction pass")
+    _add_budget(verify)
+
+    for name, help_text in (
+        ("lin", "linearizability only, three-valued verdict"),
+        ("lockfree", "lock-freedom only, three-valued verdict"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("key", choices=sorted(BENCHMARKS))
+        _add_bounds(sub)
+        _add_stats(sub)
+        _add_budget(sub, degrade=True)
+        sub.add_argument("--no-reduce", action="store_true",
+                         help="disable the silent-structure reduction pass")
+        if name == "lockfree":
+            sub.add_argument(
+                "--method", choices=["union", "tau-cycle"], default="union",
+                help="how to detect divergence (see check_lock_freedom_auto)",
+            )
 
     for name, help_text in (
         ("explore", "export the object system as .aut"),
@@ -308,9 +552,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--out", required=True)
         _add_bounds(sub)
         _add_stats(sub)
+        _add_budget(sub)
         if name == "quotient":
             sub.add_argument("--no-reduce", action="store_true",
                              help="disable the silent-structure reduction pass")
+        else:
+            sub.add_argument("--checkpoint", metavar="PATH", default=None,
+                             help="periodically snapshot the exploration to "
+                                  "PATH (also written on exhaustion)")
+            sub.add_argument("--resume", metavar="PATH", default=None,
+                             help="resume a checkpointed exploration; the "
+                                  "result is bit-identical to an "
+                                  "uninterrupted run")
 
     compare = commands.add_parser("compare", help="compare two .aut files")
     compare.add_argument("left")
@@ -341,7 +594,12 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--tau-density", type=float, default=0.35,
                       help="probability that a generated transition is silent")
     fuzz.add_argument("--time-budget", type=float, default=None,
-                      help="wall-clock cap in seconds")
+                      help="wall-clock cap in seconds, enforced inside "
+                           "each instance as well as between them")
+    fuzz.add_argument("--instance-deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="per-instance wall-clock cap; instances cut "
+                           "short count as exhausted, not as failures")
     fuzz.add_argument("--corpus", default=None, metavar="DIR",
                       help="write shrunk failing cases to DIR as .aut files")
     fuzz.add_argument("--mutate", choices=sorted(MUTATIONS), default=None,
@@ -357,6 +615,8 @@ def build_parser() -> argparse.ArgumentParser:
 HANDLERS = {
     "list": cmd_list,
     "verify": cmd_verify,
+    "lin": cmd_lin,
+    "lockfree": cmd_lockfree,
     "explore": cmd_explore,
     "quotient": cmd_quotient,
     "compare": cmd_compare,
@@ -367,7 +627,18 @@ HANDLERS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return HANDLERS[args.command](args)
+    try:
+        return HANDLERS[args.command](args)
+    except KeyboardInterrupt:
+        # Second Ctrl-C (or one outside an install_sigint window): flush
+        # whatever metrics were collected, then report the POSIX 130.
+        print("interrupted", file=sys.stderr)
+        if _ACTIVE_SINKS is not None:
+            try:
+                _emit_stats(*_ACTIVE_SINKS)
+            except Exception:
+                pass
+        return EXIT_INTERRUPTED
 
 
 if __name__ == "__main__":

@@ -54,6 +54,7 @@ from .partition import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
     from ..util.metrics import Stats
 
 #: Marker added to the signature of partition-relative divergent states.
@@ -172,6 +173,7 @@ def branching_partition(
     initial: Optional[BlockMap] = None,
     stats: Optional["Stats"] = None,
     reduce: bool = False,
+    budget: Optional["RunBudget"] = None,
 ) -> BlockMap:
     """Partition of the states of ``lts`` under branching bisimilarity.
 
@@ -185,9 +187,11 @@ def branching_partition(
     """
     frozen = ensure_frozen(lts)
     if reduce and initial is None and frozen.num_states:
-        reduced = reduce_mod.reduce_lts(frozen, divergence=divergence, stats=stats)
+        reduced = reduce_mod.reduce_lts(
+            frozen, divergence=divergence, stats=stats, budget=budget
+        )
         inner = branching_partition(
-            reduced.lts, divergence=divergence, stats=stats
+            reduced.lts, divergence=divergence, stats=stats, budget=budget
         )
         return normalize(reduce_mod.lift_partition(reduced, inner))
 
@@ -197,10 +201,13 @@ def branching_partition(
         return _branching_signature_codes(frozen, block_of, divergence, interner)
 
     if stats is None:
-        return refine_to_fixpoint(frozen.num_states, signature_fn, initial=initial)
+        return refine_to_fixpoint(
+            frozen.num_states, signature_fn, initial=initial, budget=budget
+        )
     with stats.stage("refinement"):
         block_of = refine_to_fixpoint(
-            frozen.num_states, signature_fn, initial=initial, stats=stats
+            frozen.num_states, signature_fn, initial=initial, stats=stats,
+            budget=budget,
         )
         stats.count("blocks", num_blocks(block_of))
     return block_of
@@ -235,6 +242,7 @@ def compare_branching(
     divergence: bool = False,
     stats: Optional["Stats"] = None,
     reduce: bool = False,
+    budget: Optional["RunBudget"] = None,
 ) -> Comparison:
     """Decide ``a ~ b`` for (divergence-sensitive) branching bisimilarity.
 
@@ -243,7 +251,7 @@ def compare_branching(
     """
     union, init_a, init_b = disjoint_union(a, b)
     block_of = branching_partition(
-        union, divergence=divergence, stats=stats, reduce=reduce
+        union, divergence=divergence, stats=stats, reduce=reduce, budget=budget
     )
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],

@@ -11,10 +11,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 from .graphs import tarjan_scc
 from .lts import TAU_ID, AnyLTS, FrozenLTS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
 
 
 def _tau_pairs(lts: AnyLTS):
@@ -24,9 +27,13 @@ def _tau_pairs(lts: AnyLTS):
     return ((s, d) for s, a, d in lts.transitions() if a == TAU_ID)
 
 
-def tau_cycle_states(lts: AnyLTS) -> List[int]:
+def tau_cycle_states(
+    lts: AnyLTS, budget: Optional["RunBudget"] = None
+) -> List[int]:
     """States lying on a silent cycle."""
     n = lts.num_states
+    if budget is not None:
+        budget.check("divergence", states=n)
     tau_succ: List[List[int]] = [[] for _ in range(n)]
     self_loop = [False] * n
     for src, dst in _tau_pairs(lts):
@@ -44,7 +51,9 @@ def tau_cycle_states(lts: AnyLTS) -> List[int]:
     ]
 
 
-def divergent_states(lts: AnyLTS) -> List[bool]:
+def divergent_states(
+    lts: AnyLTS, budget: Optional["RunBudget"] = None
+) -> List[bool]:
     """States with an infinite silent path (can reach a silent cycle by taus)."""
     n = lts.num_states
     tau_pred: List[List[int]] = [[] for _ in range(n)]
@@ -52,11 +61,13 @@ def divergent_states(lts: AnyLTS) -> List[bool]:
         tau_pred[dst].append(src)
     marked = [False] * n
     queue = deque()
-    for state in tau_cycle_states(lts):
+    for state in tau_cycle_states(lts, budget=budget):
         if not marked[state]:
             marked[state] = True
             queue.append(state)
     while queue:
+        if budget is not None:
+            budget.check("divergence", states=n, queued=len(queue))
         state = queue.popleft()
         for pred in tau_pred[state]:
             if not marked[pred]:
@@ -188,7 +199,9 @@ def _cycle_from(lts: AnyLTS, state: int) -> List[Step]:
     return steps
 
 
-def find_divergence_lasso(lts: AnyLTS) -> Optional[Lasso]:
+def find_divergence_lasso(
+    lts: AnyLTS, budget: Optional["RunBudget"] = None
+) -> Optional[Lasso]:
     """A diagnostic lasso witnessing divergence, or ``None`` if lock-free.
 
     The stem is a shortest path from the initial state to a silent
@@ -196,7 +209,7 @@ def find_divergence_lasso(lts: AnyLTS) -> Optional[Lasso]:
     user can see which program lines spin (e.g. the HW queue's Deq scan
     or the revised Treiber+HP hazard-pointer re-read).
     """
-    on_cycle = set(tau_cycle_states(lts))
+    on_cycle = set(tau_cycle_states(lts, budget=budget))
     if not on_cycle:
         return None
     stem = _shortest_path(lts, [lts.init], on_cycle)

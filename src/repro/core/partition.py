@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
     from ..util.metrics import Stats
 
 #: A partition is represented as a dense block index per state.
@@ -164,6 +165,8 @@ def refine_with_status(
     initial: Optional[BlockMap] = None,
     max_sweeps: Optional[int] = None,
     stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
+    phase: str = "refinement",
 ) -> RefinementRun:
     """Iterate :func:`refine_step` until stable or ``max_sweeps`` is hit.
 
@@ -175,7 +178,9 @@ def refine_with_status(
 
     ``stats``, when given, receives the ``sweeps``/``splits``/``states``
     counters once the run ends; the refinement loop itself is identical
-    either way.
+    either way.  ``budget``, when given, is checked at the top of every
+    sweep under ``phase`` and raises
+    :class:`~repro.util.budget.BudgetExhausted` when a limit is hit.
     """
     if n == 0:
         return RefinementRun(block_of=[], converged=True, sweeps=0)
@@ -186,6 +191,10 @@ def refine_with_status(
     sweeps = 0
     converged = False
     while True:
+        if budget is not None:
+            budget.check(
+                phase, states=n, sweeps=sweeps, blocks=num_blocks(block_of)
+            )
         signatures = signature_fn(block_of)
         block_of, changed = refine_step(block_of, signatures)
         sweeps += 1
@@ -207,6 +216,8 @@ def refine_to_fixpoint(
     initial: Optional[BlockMap] = None,
     max_sweeps: Optional[int] = None,
     stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
+    phase: str = "refinement",
 ) -> BlockMap:
     """Iterate :func:`refine_step` until the partition is stable.
 
@@ -217,7 +228,8 @@ def refine_to_fixpoint(
     raised instead (carrying the partial run for callers that want it).
     """
     run = refine_with_status(
-        n, signature_fn, initial=initial, max_sweeps=max_sweeps, stats=stats
+        n, signature_fn, initial=initial, max_sweeps=max_sweeps, stats=stats,
+        budget=budget, phase=phase,
     )
     if not run.converged:
         raise RefinementNotConverged(run)

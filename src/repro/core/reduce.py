@@ -67,6 +67,7 @@ except ImportError:  # pragma: no cover - numpy is not a hard dependency
 _NUMPY_MIN_EDGES = 512
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
     from ..util.metrics import Stats
 
 
@@ -107,24 +108,37 @@ def reduce_lts(
     lts: AnyLTS,
     divergence: bool = False,
     stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
 ) -> ReducedLTS:
-    """Compress ``lts`` to a (divergence-sensitive) branching-bisimilar system."""
+    """Compress ``lts`` to a (divergence-sensitive) branching-bisimilar system.
+
+    ``budget``, when given, is checked during the confluence fixpoint
+    under phase ``"reduce"``.
+    """
     if stats is None:
-        return _reduce(ensure_frozen(lts), divergence)
+        return _reduce(ensure_frozen(lts), divergence, budget)
     with stats.stage("reduce"):
-        reduced = _reduce(ensure_frozen(lts), divergence)
+        reduced = _reduce(ensure_frozen(lts), divergence, budget)
         stats.count("states_removed", reduced.states_removed)
         stats.count("transitions_removed", reduced.transitions_removed)
     return reduced
 
 
-def _reduce(frozen: FrozenLTS, divergence: bool) -> ReducedLTS:
+def _reduce(
+    frozen: FrozenLTS,
+    divergence: bool,
+    budget: Optional["RunBudget"] = None,
+) -> ReducedLTS:
     if _np is not None and frozen.num_transitions >= _NUMPY_MIN_EDGES:
-        return _reduce_np(frozen, divergence)
-    return _reduce_py(frozen, divergence)
+        return _reduce_np(frozen, divergence, budget)
+    return _reduce_py(frozen, divergence, budget)
 
 
-def _reduce_py(frozen: FrozenLTS, divergence: bool) -> ReducedLTS:
+def _reduce_py(
+    frozen: FrozenLTS,
+    divergence: bool,
+    budget: Optional["RunBudget"] = None,
+) -> ReducedLTS:
     n = frozen.num_states
     if n == 0:
         empty = LTS()
@@ -193,6 +207,8 @@ def _reduce_py(frozen: FrozenLTS, divergence: bool) -> ReducedLTS:
     queue = list(candidates)
     head = 0
     while head < len(queue):
+        if budget is not None:
+            budget.check("reduce", states=n, worklist=len(queue) - head)
         s, t = queue[head]
         head += 1
         st = s * C + t
@@ -295,7 +311,11 @@ def _ragged_arange(np, starts, counts):
     )
 
 
-def _reduce_np(frozen: FrozenLTS, divergence: bool) -> ReducedLTS:
+def _reduce_np(
+    frozen: FrozenLTS,
+    divergence: bool,
+    budget: Optional["RunBudget"] = None,
+) -> ReducedLTS:
     """Vectorized :func:`_reduce_py` -- the same two layers and the same
     greatest fixpoint (which is unique, so the two paths agree edge for
     edge), with the per-candidate diamond checks batched into array
@@ -386,6 +406,8 @@ def _reduce_np(frozen: FrozenLTS, divergence: bool) -> ReducedLTS:
 
     in_t = np.ones(K, dtype=bool)
     while True:
+        if budget is not None:
+            budget.check("reduce", states=n, candidates=int(in_t.sum()))
         closed3 = has3 & in_t[j3]
         closed2 = (
             np.bincount(wit_pair[in_t[wit_cand]], minlength=P) > 0

@@ -20,6 +20,7 @@ from .partition import (
 from .branching import Comparison
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
     from ..util.metrics import Stats
 
 
@@ -48,6 +49,7 @@ def strong_partition(
     lts: AnyLTS,
     initial: Optional[BlockMap] = None,
     stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
 ) -> BlockMap:
     """Partition of the states of ``lts`` under strong bisimilarity."""
     frozen = ensure_frozen(lts)
@@ -57,19 +59,27 @@ def strong_partition(
         return _strong_signature_codes(frozen, block_of, interner)
 
     if stats is None:
-        return refine_to_fixpoint(frozen.num_states, signature_fn, initial=initial)
+        return refine_to_fixpoint(
+            frozen.num_states, signature_fn, initial=initial, budget=budget
+        )
     with stats.stage("refinement"):
         block_of = refine_to_fixpoint(
-            frozen.num_states, signature_fn, initial=initial, stats=stats
+            frozen.num_states, signature_fn, initial=initial, stats=stats,
+            budget=budget,
         )
         stats.count("blocks", num_blocks(block_of))
     return block_of
 
 
-def compare_strong(a: AnyLTS, b: AnyLTS, stats: Optional["Stats"] = None) -> Comparison:
+def compare_strong(
+    a: AnyLTS,
+    b: AnyLTS,
+    stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
+) -> Comparison:
     """Decide whether two LTSs are strongly bisimilar."""
     union, init_a, init_b = disjoint_union(a, b)
-    block_of = strong_partition(union, stats=stats)
+    block_of = strong_partition(union, stats=stats, budget=budget)
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],
         union=union,

@@ -35,6 +35,7 @@ from .lts import TAU_ID, AnyLTS, FrozenLTS
 from .partition import BlockMap, partition_from_key, refine_to_fixpoint
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
     from ..util.metrics import Stats
 
 
@@ -74,7 +75,10 @@ class RefinementResult:
 
 
 def trace_refines(
-    impl: AnyLTS, spec: AnyLTS, stats: Optional["Stats"] = None
+    impl: AnyLTS,
+    spec: AnyLTS,
+    stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
 ) -> RefinementResult:
     """Decide ``impl ⊑_tr spec`` (Definition 2.2), with counterexample.
 
@@ -87,16 +91,20 @@ def trace_refines(
 
     ``stats`` (optional) records the antichain size and visited-pair
     count under a ``check`` stage; the search loop is untouched --
-    everything is derived after it finishes.
+    everything is derived after it finishes.  ``budget`` (optional) is
+    checked once per dequeued pair under phase ``"check"``.
     """
     if stats is None:
-        return _trace_refines(impl, spec, None)
+        return _trace_refines(impl, spec, None, budget)
     with stats.stage("check"):
-        return _trace_refines(impl, spec, stats)
+        return _trace_refines(impl, spec, stats, budget)
 
 
 def _trace_refines(
-    impl: AnyLTS, spec: AnyLTS, stats: Optional["Stats"]
+    impl: AnyLTS,
+    spec: AnyLTS,
+    stats: Optional["Stats"],
+    budget: Optional["RunBudget"] = None,
 ) -> RefinementResult:
     spec_closures = state_tau_closures(spec)
 
@@ -141,6 +149,8 @@ def _trace_refines(
         chain.append(spec_set)
 
     while queue:
+        if budget is not None:
+            budget.check("check", pairs=len(parents), queued=len(queue))
         node = queue.popleft()
         state, spec_set = node
         for aid, dst in impl.successors(state):

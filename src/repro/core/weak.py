@@ -30,6 +30,7 @@ from .partition import (
 from .branching import Comparison, DIVERGENCE_CODE
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
     from ..util.metrics import Stats
 
 
@@ -121,6 +122,7 @@ def weak_partition(
     divergence: bool = False,
     initial: Optional[BlockMap] = None,
     stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
 ) -> BlockMap:
     """Partition of the states of ``lts`` under weak bisimilarity.
 
@@ -151,7 +153,9 @@ def weak_partition(
                 sigs.append(interner.intern(tuple(sorted(acc))))
             return sigs
 
-        return refine_to_fixpoint(n, signatures, initial=initial, stats=stats)
+        return refine_to_fixpoint(
+            n, signatures, initial=initial, stats=stats, budget=budget
+        )
 
     if stats is None:
         return run()
@@ -166,10 +170,13 @@ def compare_weak(
     b: AnyLTS,
     divergence: bool = False,
     stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
 ) -> Comparison:
     """Decide whether two LTSs are weakly bisimilar."""
     union, init_a, init_b = disjoint_union(a, b)
-    block_of = weak_partition(union, divergence=divergence, stats=stats)
+    block_of = weak_partition(
+        union, divergence=divergence, stats=stats, budget=budget
+    )
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],
         union=union,

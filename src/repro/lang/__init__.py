@@ -36,7 +36,16 @@ from .ops import (
 )
 from .stmts import Break, Continue, Goto, If, Label, Stmt, While, compile_body
 from .program import HeapBuilder, Method, ObjectProgram
+from .checkpoint import (
+    Checkpoint,
+    CheckpointError,
+    CheckpointMismatch,
+    CheckpointSink,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .client import (
+    DEFAULT_MAX_STATES,
     ClientConfig,
     StateExplosion,
     explore,
@@ -92,7 +101,14 @@ __all__ = [
     "HeapBuilder",
     "Method",
     "ObjectProgram",
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointMismatch",
+    "CheckpointSink",
+    "load_checkpoint",
+    "save_checkpoint",
     "ClientConfig",
+    "DEFAULT_MAX_STATES",
     "StateExplosion",
     "explore",
     "uniform_workload",

@@ -19,6 +19,7 @@ from .client import StateExplosion, Workload
 from .state import ModelError
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
     from ..util.metrics import Stats
 
 #: A sequential method: ``(state, args) -> [(new_state, return_value), ...]``.
@@ -57,17 +58,23 @@ def spec_lts(
     workload: Workload,
     max_states: Optional[int] = None,
     stats: Optional["Stats"] = None,
+    budget: Optional["RunBudget"] = None,
 ) -> LTS:
     """The linearizable specification LTS under the most general client.
 
     ``stats`` (optional) times the generation under a ``spec`` stage and
     records state/transition counts; the generation loop is shared with
-    the uninstrumented path.
+    the uninstrumented path.  ``budget`` (optional) is checked once per
+    frontier pop under phase ``"spec"``.
     """
     if stats is None:
-        return _spec_lts(spec, num_threads, ops_per_thread, workload, max_states)
+        return _spec_lts(
+            spec, num_threads, ops_per_thread, workload, max_states, budget
+        )
     with stats.stage("spec"):
-        lts = _spec_lts(spec, num_threads, ops_per_thread, workload, max_states)
+        lts = _spec_lts(
+            spec, num_threads, ops_per_thread, workload, max_states, budget
+        )
         stats.count("states", lts.num_states)
         stats.count("transitions", lts.num_transitions)
     return lts
@@ -79,6 +86,7 @@ def _spec_lts(
     ops_per_thread: int,
     workload: Workload,
     max_states: Optional[int] = None,
+    budget: Optional["RunBudget"] = None,
 ) -> LTS:
     if not workload:
         raise ModelError("empty workload: nothing for the client to invoke")
@@ -100,17 +108,29 @@ def _spec_lts(
     stack: List[Any] = [init_key]
 
     while stack:
-        key = stack.pop()
+        if budget is not None:
+            budget.check(
+                "spec",
+                states=builder.lts.num_states,
+                transitions=builder.lts.num_transitions,
+                frontier=len(stack),
+            )
         if max_states is not None and builder.lts.num_states > max_states:
-            raise StateExplosion(f"{spec.name}: more than {max_states} states")
+            raise StateExplosion(
+                f"{spec.name}: more than {max_states} states",
+                phase="spec",
+                states=builder.lts.num_states,
+                frontier=len(stack),
+            )
+        key = stack.pop()
         abstract, threads = key
         for tid, record in enumerate(threads):
-            phase, mname, args, ret, budget = record
+            phase, mname, args, ret, ops_budget = record
             if phase == _IDLE:
-                if budget <= 0:
+                if ops_budget <= 0:
                     continue
                 for wm, wargs in workload:
-                    new_record = (_PENDING, wm, wargs, None, budget - 1)
+                    new_record = (_PENDING, wm, wargs, None, ops_budget - 1)
                     new_threads = threads[:tid] + (new_record,) + threads[tid + 1:]
                     label = ("call", tid + 1, wm, wargs)
                     dst = (abstract, new_threads)
@@ -119,7 +139,7 @@ def _spec_lts(
                         stack.append(dst)
             elif phase == _PENDING:
                 for new_abstract, value in spec.method(mname)(abstract, args):
-                    new_record = (_DONE, mname, args, value, budget)
+                    new_record = (_DONE, mname, args, value, ops_budget)
                     new_threads = threads[:tid] + (new_record,) + threads[tid + 1:]
                     dst = (new_abstract, new_threads)
                     _, is_new = builder.transition(
@@ -128,7 +148,7 @@ def _spec_lts(
                     if is_new:
                         stack.append(dst)
             else:
-                new_record = (_IDLE, None, None, None, budget)
+                new_record = (_IDLE, None, None, None, ops_budget)
                 new_threads = threads[:tid] + (new_record,) + threads[tid + 1:]
                 label = ("ret", tid + 1, mname, ret)
                 dst = (abstract, new_threads)

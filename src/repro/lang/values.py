@@ -29,6 +29,13 @@ class Ref(tuple):
     def index(self) -> int:
         return self[1]
 
+    def __getnewargs__(self):
+        # Without this, pickle would rebuild via Ref(("ref", index)) --
+        # the tuple-subclass default passes the whole tuple to __new__ --
+        # yielding a double-tagged, unequal reference.  Checkpoint
+        # serialization (repro.lang.checkpoint) depends on round-tripping.
+        return (self[1],)
+
     def __repr__(self) -> str:
         return f"Ref({self[1]})"
 

@@ -37,6 +37,7 @@ from .differential import (
     FuzzCase,
     FuzzReport,
     MUTATIONS,
+    check_budget_governance,
     check_equivalences,
     check_instance,
     check_seeded_refinement,
@@ -72,6 +73,7 @@ __all__ = [
     "FuzzCase",
     "FuzzReport",
     "MUTATIONS",
+    "check_budget_governance",
     "check_equivalences",
     "check_instance",
     "check_seeded_refinement",

@@ -39,23 +39,26 @@ from ..core.aut import write_aut
 from ..core.lts import make_lts
 from ..core.partition import BlockMap
 from ..lang.client import StateExplosion
+from ..util.budget import BudgetExhausted, RunBudget
 from . import generators, laws, oracles
 
 #: Engine partition per relation name.  The branching engines run with
 #: the silent-structure reduction pass *enabled*, so every fuzz run
 #: oracle-validates the reduced pipeline end to end; the unreduced path
 #: is pinned against it separately by :func:`check_reduction`.
-ENGINE_PARTITIONS: Dict[str, Callable[[LTS], BlockMap]] = {
+ENGINE_PARTITIONS: Dict[str, Callable[..., BlockMap]] = {
     "strong": strong_partition,
-    "branching": lambda lts: branching_partition(lts, reduce=True),
-    "branching-div": lambda lts: branching_partition(
-        lts, divergence=True, reduce=True
+    "branching": lambda lts, budget=None: branching_partition(
+        lts, reduce=True, budget=budget
+    ),
+    "branching-div": lambda lts, budget=None: branching_partition(
+        lts, divergence=True, reduce=True, budget=budget
     ),
     "weak": weak_partition,
 }
 
 #: Reference oracle per relation name.
-ORACLE_RELATIONS: Dict[str, Callable[[LTS], oracles.Relation]] = {
+ORACLE_RELATIONS: Dict[str, Callable[..., oracles.Relation]] = {
     "strong": oracles.strong_bisimulation_relation,
     "branching": oracles.branching_bisimulation_relation,
     "branching-div": oracles.divergence_sensitive_branching_relation,
@@ -115,13 +118,15 @@ class Disagreement:
 
 
 def check_equivalences(
-    lts: LTS, relations: Optional[List[str]] = None
+    lts: LTS,
+    relations: Optional[List[str]] = None,
+    budget: Optional[RunBudget] = None,
 ) -> List[Disagreement]:
     """Engine vs. oracle on every state pair, for every relation."""
     out: List[Disagreement] = []
     for name in relations or list(ENGINE_PARTITIONS):
-        block_of = ENGINE_PARTITIONS[name](lts)
-        relation = ORACLE_RELATIONS[name](lts)
+        block_of = ENGINE_PARTITIONS[name](lts, budget=budget)
+        relation = ORACLE_RELATIONS[name](lts, budget=budget)
         mismatch = oracles.relation_agrees_with_partition(relation, block_of)
         if mismatch is not None:
             s, t = mismatch
@@ -143,6 +148,7 @@ def check_seeded_refinement(
     lts: LTS,
     relations: Optional[List[str]] = None,
     oracle_state_limit: int = 40,
+    budget: Optional[RunBudget] = None,
 ) -> List[Disagreement]:
     """Engine vs. oracle when refining from a non-trivial seed partition.
 
@@ -156,7 +162,7 @@ def check_seeded_refinement(
     seed_blocks = parity_seed(lts)
     for name in relations or list(SEEDED_RELATIONS):
         engine_fn, oracle_fn = SEEDED_RELATIONS[name]
-        block_of = engine_fn(lts, initial=list(seed_blocks))
+        block_of = engine_fn(lts, initial=list(seed_blocks), budget=budget)
         if not is_refinement(block_of, seed_blocks):
             out.append(Disagreement(
                 kind="seeded",
@@ -167,7 +173,7 @@ def check_seeded_refinement(
             continue
         if oracle_fn is None or lts.num_states > oracle_state_limit:
             continue
-        relation = oracle_fn(lts, initial=seed_blocks)
+        relation = oracle_fn(lts, initial=seed_blocks, budget=budget)
         mismatch = oracles.relation_agrees_with_partition(relation, block_of)
         if mismatch is not None:
             s, t = mismatch
@@ -193,7 +199,9 @@ REDUCTION_RELATIONS: Dict[str, bool] = {
 
 
 def check_reduction(
-    lts: LTS, relations: Optional[List[str]] = None
+    lts: LTS,
+    relations: Optional[List[str]] = None,
+    budget: Optional[RunBudget] = None,
 ) -> List[Disagreement]:
     """Reduced vs. unreduced engine on the same instance.
 
@@ -205,8 +213,10 @@ def check_reduction(
     out: List[Disagreement] = []
     for name in relations or list(REDUCTION_RELATIONS):
         divergence = REDUCTION_RELATIONS[name]
-        plain = branching_partition(lts, divergence=divergence)
-        reduced = branching_partition(lts, divergence=divergence, reduce=True)
+        plain = branching_partition(lts, divergence=divergence, budget=budget)
+        reduced = branching_partition(
+            lts, divergence=divergence, reduce=True, budget=budget
+        )
         if not same_partition(plain, reduced):
             out.append(Disagreement(
                 kind="reduction",
@@ -220,12 +230,14 @@ def check_reduction(
     return out
 
 
-def check_trace_refinement(impl: LTS, spec: LTS) -> List[Disagreement]:
+def check_trace_refinement(
+    impl: LTS, spec: LTS, budget: Optional[RunBudget] = None
+) -> List[Disagreement]:
     """Engine vs. brute-force trace inclusion, both the verdict and the
     counterexample (which must be a trace of ``impl`` but not ``spec``)."""
     out: List[Disagreement] = []
-    engine = trace_refines(impl, spec)
-    oracle_holds, _ = oracles.weak_trace_inclusion(impl, spec)
+    engine = trace_refines(impl, spec, budget=budget)
+    oracle_holds, _ = oracles.weak_trace_inclusion(impl, spec, budget=budget)
     if engine.holds != oracle_holds:
         out.append(Disagreement(
             kind="trace",
@@ -256,28 +268,61 @@ def check_trace_refinement(impl: LTS, spec: LTS) -> List[Disagreement]:
     return out
 
 
+def check_budget_governance(lts: LTS) -> List[Disagreement]:
+    """The engine must honour an already-exhausted run budget.
+
+    Runs the branching engine under a zero deadline and demands the
+    structured :class:`~repro.util.budget.BudgetExhausted`.  A mutation
+    (or regression) that drops the cooperative checks makes the engine
+    run to completion instead -- which this check reports as a
+    disagreement, giving the harness teeth over the governance layer
+    itself (``--mutate drop-budget-checks``).
+    """
+    if lts.num_states == 0:
+        return []
+    try:
+        branching_partition(lts, budget=RunBudget(deadline_seconds=0.0))
+    except BudgetExhausted:
+        return []
+    return [Disagreement(
+        kind="budget",
+        name="governance",
+        detail=(
+            "engine ran to completion under a zero deadline instead of "
+            "raising BudgetExhausted"
+        ),
+        lts=lts,
+    )]
+
+
 def check_instance(
     lts: LTS,
     oracle_state_limit: int = 40,
     include_laws: bool = True,
+    budget: Optional[RunBudget] = None,
 ) -> List[Disagreement]:
     """All differential checks on one LTS.
 
     Relational oracles are quartic, so instances above
     ``oracle_state_limit`` states only run the laws and the trace
-    cross-check against their own quotient.
+    cross-check against their own quotient.  ``budget``, when given, is
+    threaded into the engine *and* the oracles, so a single slow
+    instance cannot pin the whole fuzzing run.
     """
     out: List[Disagreement] = []
     if lts.num_states <= oracle_state_limit:
-        out.extend(check_equivalences(lts))
-    out.extend(check_reduction(lts))
-    out.extend(check_seeded_refinement(lts, oracle_state_limit=oracle_state_limit))
+        out.extend(check_equivalences(lts, budget=budget))
+    out.extend(check_reduction(lts, budget=budget))
+    out.extend(check_seeded_refinement(
+        lts, oracle_state_limit=oracle_state_limit, budget=budget
+    ))
     if include_laws:
         for name, message in laws.check_laws(lts):
             out.append(Disagreement(kind="law", name=name, detail=message, lts=lts))
-    quotient = quotient_lts(lts, branching_partition(lts))
-    out.extend(check_trace_refinement(lts, quotient.lts))
-    out.extend(check_trace_refinement(quotient.lts, lts))
+    out.extend(check_budget_governance(lts))
+    quotient = quotient_lts(lts, branching_partition(lts, budget=budget))
+    out.extend(check_trace_refinement(lts, quotient.lts, budget=budget))
+    out.extend(check_trace_refinement(quotient.lts, lts, budget=budget))
     return out
 
 
@@ -408,8 +453,8 @@ def _mutate_reduce_ignore_divergence() -> Iterator[None]:
 
     original = R.reduce_lts
 
-    def buggy(lts, divergence=False, stats=None):
-        return original(lts, divergence=False, stats=stats)
+    def buggy(lts, divergence=False, stats=None, budget=None):
+        return original(lts, divergence=False, stats=stats, budget=budget)
 
     R.reduce_lts = buggy
     try:
@@ -418,8 +463,29 @@ def _mutate_reduce_ignore_divergence() -> Iterator[None]:
         R.reduce_lts = original
 
 
+@contextmanager
+def _mutate_drop_budget_checks() -> Iterator[None]:
+    """The cooperative budget checks become no-ops: deadlines, state
+    caps and SIGINT cancellation are silently ignored and exhausted
+    runs complete as if unbounded.  Caught by
+    :func:`check_budget_governance`."""
+    from ..util import budget as B
+
+    original = B.RunBudget.check
+
+    def buggy(self, phase, states=None, transitions=None, **progress):
+        return None
+
+    B.RunBudget.check = buggy
+    try:
+        yield
+    finally:
+        B.RunBudget.check = original
+
+
 MUTATIONS: Dict[str, Callable[[], object]] = {
     "drop-block-id": _mutate_drop_block_id,
+    "drop-budget-checks": _mutate_drop_budget_checks,
     "skip-divergence-mark": _mutate_skip_divergence_mark,
     "truncate-tau-closure": _mutate_truncate_tau_closure,
     "reduce-ignore-divergence": _mutate_reduce_ignore_divergence,
@@ -448,6 +514,7 @@ class FuzzReport:
     instances: int = 0
     checks: int = 0
     skipped: int = 0
+    exhausted: int = 0
     elapsed: float = 0.0
     disagreements: List[Disagreement] = field(default_factory=list)
     cases: List[FuzzCase] = field(default_factory=list)
@@ -456,6 +523,7 @@ class FuzzReport:
         lines = [
             f"fuzz: seed={self.seed} instances={self.instances} "
             f"checks={self.checks} skipped={self.skipped} "
+            f"exhausted={self.exhausted} "
             f"disagreements={len(self.disagreements)} "
             f"({self.elapsed:.1f}s)"
         ]
@@ -501,6 +569,8 @@ def _shrink_disagreement(disagreement: Disagreement) -> LTS:
             return bool(check_reduction(candidate, [disagreement.name]))
         if disagreement.kind == "seeded":
             return bool(check_seeded_refinement(candidate, [disagreement.name]))
+        if disagreement.kind == "budget":
+            return bool(check_budget_governance(candidate))
         if disagreement.kind == "law":
             failed = laws.check_laws(candidate)
             return any(name == disagreement.name for name, _ in failed)
@@ -538,6 +608,7 @@ def run_fuzz(
     max_states: int = 7,
     tau_density: float = 0.35,
     time_budget: Optional[float] = None,
+    instance_deadline: Optional[float] = None,
     corpus_dir: Optional[str] = None,
     use_programs: bool = True,
     mutate: Optional[str] = None,
@@ -551,7 +622,13 @@ def run_fuzz(
     engine for the duration of the run.  ``stop_after`` ends the run
     early once that many disagreements were found (the default for
     mutation runs is 1 -- finding any bug is enough).  ``time_budget``
-    (seconds) caps the wall-clock time.
+    (seconds) caps the wall-clock time of the whole run and is enforced
+    *inside* each instance, not just between them: the per-instance
+    :class:`~repro.util.budget.RunBudget` is capped by whatever of the
+    run budget remains, so one pathological instance cannot blow the
+    deadline.  ``instance_deadline`` additionally caps each single
+    instance; instances cut short either way are counted under
+    ``exhausted`` in the report rather than failing the run.
     """
     if mutate is not None and mutate not in MUTATIONS:
         raise ValueError(
@@ -562,6 +639,16 @@ def run_fuzz(
     rng = random.Random(seed)
     report = FuzzReport(seed=seed)
     started = time.monotonic()
+
+    def instance_budget() -> Optional[RunBudget]:
+        limits = []
+        if time_budget is not None:
+            limits.append(time_budget - (time.monotonic() - started))
+        if instance_deadline is not None:
+            limits.append(instance_deadline)
+        if not limits:
+            return None
+        return RunBudget(deadline_seconds=max(0.0, min(limits)))
 
     def body() -> None:
         for index in range(n):
@@ -574,7 +661,14 @@ def run_fuzz(
                 report.skipped += 1
                 continue
             report.instances += 1
-            found = check_instance(lts, oracle_state_limit=oracle_state_limit)
+            try:
+                found = check_instance(
+                    lts, oracle_state_limit=oracle_state_limit,
+                    budget=instance_budget(),
+                )
+            except BudgetExhausted:
+                report.exhausted += 1
+                continue
             report.checks += (
                 len(ENGINE_PARTITIONS) + len(REDUCTION_RELATIONS)
                 + len(SEEDED_RELATIONS) + len(laws.ALL_LAWS) + 2

@@ -29,6 +29,7 @@ from typing import (
 )
 
 from ..core.lts import LTS, TAU_ID, make_lts
+from ..util.budget import RunBudget
 
 Relation = Set[Tuple[int, int]]
 
@@ -62,6 +63,7 @@ def _greatest_fixed_point(
     lts: LTS,
     transfer: TransferFn,
     initial: Optional[List[int]] = None,
+    budget: Optional[RunBudget] = None,
 ) -> Relation:
     """The largest symmetric relation closed under ``transfer``.
 
@@ -87,6 +89,8 @@ def _greatest_fixed_point(
         }
     changed = True
     while changed:
+        if budget is not None:
+            budget.check("check", states=n, pairs=len(rel))
         changed = False
         for pair in sorted(rel):
             s, t = pair
@@ -113,14 +117,18 @@ def _strong_transfer(lts: LTS, s: int, t: int, rel: Relation) -> bool:
 
 
 def strong_bisimulation_relation(
-    lts: LTS, initial: Optional[List[int]] = None
+    lts: LTS,
+    initial: Optional[List[int]] = None,
+    budget: Optional[RunBudget] = None,
 ) -> Relation:
     """Greatest strong bisimulation (tau is an ordinary action).
 
     With ``initial`` (a block map), the greatest strong bisimulation
     that only relates states within the same initial block.
     """
-    return _greatest_fixed_point(lts, _strong_transfer, initial=initial)
+    return _greatest_fixed_point(
+        lts, _strong_transfer, initial=initial, budget=budget
+    )
 
 
 # ----------------------------------------------------------------------
@@ -128,7 +136,9 @@ def strong_bisimulation_relation(
 # ----------------------------------------------------------------------
 
 def weak_bisimulation_relation(
-    lts: LTS, initial: Optional[List[int]] = None
+    lts: LTS,
+    initial: Optional[List[int]] = None,
+    budget: Optional[RunBudget] = None,
 ) -> Relation:
     """Greatest weak bisimulation.
 
@@ -158,7 +168,7 @@ def weak_bisimulation_relation(
                 return False
         return True
 
-    return _greatest_fixed_point(lts, transfer, initial=initial)
+    return _greatest_fixed_point(lts, transfer, initial=initial, budget=budget)
 
 
 # ----------------------------------------------------------------------
@@ -191,10 +201,14 @@ def _branching_transfer(lts: LTS, s: int, t: int, rel: Relation) -> bool:
 
 
 def branching_bisimulation_relation(
-    lts: LTS, initial: Optional[List[int]] = None
+    lts: LTS,
+    initial: Optional[List[int]] = None,
+    budget: Optional[RunBudget] = None,
 ) -> Relation:
     """Greatest branching bisimulation (Definition 4.1)."""
-    return _greatest_fixed_point(lts, _branching_transfer, initial=initial)
+    return _greatest_fixed_point(
+        lts, _branching_transfer, initial=initial, budget=budget
+    )
 
 
 # ----------------------------------------------------------------------
@@ -243,7 +257,9 @@ DIVERGENCE_LOOP = ("divergence-loop",)
 
 
 def divergence_sensitive_branching_relation(
-    lts: LTS, initial: Optional[List[int]] = None
+    lts: LTS,
+    initial: Optional[List[int]] = None,
+    budget: Optional[RunBudget] = None,
 ) -> Relation:
     """Greatest divergence-sensitive branching bisimulation (Def 5.5).
 
@@ -272,7 +288,9 @@ def divergence_sensitive_branching_relation(
         for state in sorted(tau_cycle_states_naive(lts))
     )
     marked = make_lts(lts.num_states, lts.init, transitions)
-    return _greatest_fixed_point(marked, _branching_transfer, initial=initial)
+    return _greatest_fixed_point(
+        marked, _branching_transfer, initial=initial, budget=budget
+    )
 
 
 # ----------------------------------------------------------------------
@@ -329,7 +347,9 @@ def is_trace_of(lts: LTS, trace: List[Hashable]) -> bool:
 
 
 def weak_trace_inclusion(
-    impl: LTS, spec: LTS
+    impl: LTS,
+    spec: LTS,
+    budget: Optional[RunBudget] = None,
 ) -> Tuple[bool, Optional[List[Hashable]]]:
     """Brute-force trace refinement ``impl <= spec`` (Definition 2.2).
 
@@ -348,6 +368,8 @@ def weak_trace_inclusion(
     ] = {start: (None, None)}
     queue = deque([start])
     while queue:
+        if budget is not None:
+            budget.check("check", pairs=len(parents), queued=len(queue))
         node = queue.popleft()
         state, spec_set = node
         for aid, dst in impl.successors(state):

@@ -1,6 +1,26 @@
 """Small utilities shared by benches, examples and the CLI."""
 
+from .budget import (
+    BudgetExhausted,
+    CancellationToken,
+    Exhaustion,
+    RunBudget,
+    exit_code_for,
+    verdict_of,
+)
 from .metrics import Stats, peak_rss_kb, stage
 from .tables import check, render_table
 
-__all__ = ["Stats", "check", "peak_rss_kb", "render_table", "stage"]
+__all__ = [
+    "BudgetExhausted",
+    "CancellationToken",
+    "Exhaustion",
+    "RunBudget",
+    "Stats",
+    "check",
+    "exit_code_for",
+    "peak_rss_kb",
+    "render_table",
+    "stage",
+    "verdict_of",
+]

@@ -1,0 +1,354 @@
+"""Run-budget governance: deadlines, caps, cancellation, three-valued verdicts.
+
+The paper's pipelines are exactly the workloads where state-space
+explosion kills runs mid-flight (the DSN 2018 experiments needed a
+48-core / 192 GB server; this interpreter-speed repro hits the wall far
+sooner).  Bounded analyses that still return a meaningful verdict are
+standard practice in this literature, so instead of ad-hoc exceptions
+every long-running loop in the package checks a single
+:class:`RunBudget` at bounded intervals and raises one structured
+:class:`BudgetExhausted` taxonomy when a limit is hit:
+
+* a **wall-clock deadline** (seconds from the budget's start),
+* a **state cap** and a **transition cap** (counts reported by the loop),
+* a **peak-RSS cap** (KiB, sampled with a stride so the probe is cheap),
+* a **cooperative cancellation token**, optionally wired to ``SIGINT``
+  so a Ctrl-C surfaces as a clean exhaustion at the next check point
+  instead of a traceback from a random stack frame.
+
+:class:`BudgetExhausted` carries an :class:`Exhaustion` record naming
+the *reason* (which limit), the *phase* (which pipeline stage) and a
+*progress snapshot* (states explored, sweeps completed, ...), so the
+verification pipelines can turn it into a three-valued verdict:
+
+    ``TRUE`` / ``FALSE``   the analysis completed and decided,
+    ``UNKNOWN``            a budget ran out first; the exhaustion record
+                           says how far the run got.
+
+The CLI maps verdicts to exit codes (:data:`EXIT_TRUE` = 0,
+:data:`EXIT_FALSE` = 1, :data:`EXIT_UNKNOWN` = 2, and
+:data:`EXIT_INTERRUPTED` = 130 for SIGINT).  See ``docs/ROBUSTNESS.md``.
+
+Budget checks are pay-for-what-you-use like the metrics layer: every
+loop accepts ``budget=None`` and skips the call entirely in that case,
+and :meth:`RunBudget.check` itself strides the clock/RSS probes so a
+check costs a few integer comparisons on most calls.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from .metrics import peak_rss_kb
+
+# ----------------------------------------------------------------------
+# three-valued verdicts and exit codes
+# ----------------------------------------------------------------------
+
+#: The three verdict values every governed pipeline can return.
+TRUE = "TRUE"
+FALSE = "FALSE"
+UNKNOWN = "UNKNOWN"
+
+#: CLI exit codes for the three verdicts, plus SIGINT.
+EXIT_TRUE = 0
+EXIT_FALSE = 1
+EXIT_UNKNOWN = 2
+EXIT_INTERRUPTED = 130
+
+
+def verdict_of(flag: Optional[bool]) -> str:
+    """Map a three-valued boolean (``None`` = undecided) to a verdict."""
+    if flag is None:
+        return UNKNOWN
+    return TRUE if flag else FALSE
+
+
+def exit_code_for(verdict: str) -> int:
+    """The CLI exit code of a verdict string."""
+    return {TRUE: EXIT_TRUE, FALSE: EXIT_FALSE, UNKNOWN: EXIT_UNKNOWN}[verdict]
+
+
+# ----------------------------------------------------------------------
+# the exhaustion taxonomy
+# ----------------------------------------------------------------------
+
+#: ``Exhaustion.reason`` values (the closed taxonomy).
+REASON_DEADLINE = "deadline"
+REASON_STATES = "states"
+REASON_TRANSITIONS = "transitions"
+REASON_RSS = "rss"
+REASON_INTERRUPTED = "interrupted"
+
+ALL_REASONS = (
+    REASON_DEADLINE,
+    REASON_STATES,
+    REASON_TRANSITIONS,
+    REASON_RSS,
+    REASON_INTERRUPTED,
+)
+
+
+@dataclass
+class Exhaustion:
+    """Why, where and how far: the structured record behind ``UNKNOWN``.
+
+    Attributes
+    ----------
+    reason:
+        Which limit was hit (one of :data:`ALL_REASONS`).
+    phase:
+        The pipeline stage that was running (``"explore"``, ``"spec"``,
+        ``"reduce"``, ``"refinement"``, ``"check"``, ``"divergence"``).
+    limit:
+        Human-readable rendering of the limit (``"deadline=2.00s"``).
+    progress:
+        Loop counters at the moment of exhaustion (states, transitions,
+        sweeps, visited pairs, ... -- whatever the loop reported).
+    """
+
+    reason: str
+    phase: str
+    limit: str
+    progress: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        detail = "  ".join(f"{k}={v}" for k, v in sorted(self.progress.items()))
+        text = f"budget exhausted in phase '{self.phase}': {self.limit}"
+        return f"{text}  [{detail}]" if detail else text
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": "repro.exhaustion/v1",
+            "reason": self.reason,
+            "phase": self.phase,
+            "limit": self.limit,
+            "progress": dict(self.progress),
+        }
+
+
+class BudgetExhausted(Exception):
+    """A :class:`RunBudget` limit was hit (the single structured taxonomy).
+
+    Every bounded loop in the package raises this (or the back-compat
+    subclass :class:`repro.lang.client.StateExplosion`) -- never a bare
+    ``RuntimeError`` -- so callers can catch one exception type and read
+    ``exc.exhaustion`` for the reason / phase / progress snapshot.
+    """
+
+    def __init__(self, exhaustion: Exhaustion):
+        super().__init__(exhaustion.render())
+        self.exhaustion = exhaustion
+
+    @property
+    def reason(self) -> str:
+        return self.exhaustion.reason
+
+    @property
+    def phase(self) -> str:
+        return self.exhaustion.phase
+
+    @property
+    def progress(self) -> Dict[str, int]:
+        return self.exhaustion.progress
+
+
+# ----------------------------------------------------------------------
+# cooperative cancellation
+# ----------------------------------------------------------------------
+
+class CancellationToken:
+    """A latch the budget polls; setting it cancels at the next check."""
+
+    __slots__ = ("_flag",)
+
+    def __init__(self) -> None:
+        self._flag = False
+
+    def set(self) -> None:
+        self._flag = True
+
+    def clear(self) -> None:
+        self._flag = False
+
+    def is_set(self) -> bool:
+        return self._flag
+
+
+# ----------------------------------------------------------------------
+# the budget itself
+# ----------------------------------------------------------------------
+
+class RunBudget:
+    """A bundle of limits checked cooperatively by every long loop.
+
+    Parameters
+    ----------
+    deadline_seconds:
+        Wall-clock allowance measured from construction (or the last
+        :meth:`restart`).  ``None`` = no deadline.
+    max_states, max_transitions:
+        Caps on the ``states=`` / ``transitions=`` counts a loop reports
+        to :meth:`check`.  ``None`` = uncapped.
+    max_rss_kb:
+        Peak-RSS cap in KiB (compared against
+        :func:`repro.util.metrics.peak_rss_kb`).  ``None`` = uncapped.
+    token:
+        A :class:`CancellationToken`; when set, the next check raises
+        with reason ``"interrupted"``.  :meth:`install_sigint` wires it
+        to Ctrl-C for the duration of a ``with`` block.
+    check_interval:
+        Stride for the clock / RSS probes: counts and the token are
+        checked on *every* call, the probes on call 1 and then every
+        ``check_interval``-th call, so a check is a few integer
+        comparisons on the fast path.
+    """
+
+    __slots__ = (
+        "deadline_seconds",
+        "max_states",
+        "max_transitions",
+        "max_rss_kb",
+        "token",
+        "check_interval",
+        "_started",
+        "_calls",
+    )
+
+    def __init__(
+        self,
+        deadline_seconds: Optional[float] = None,
+        max_states: Optional[int] = None,
+        max_transitions: Optional[int] = None,
+        max_rss_kb: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        check_interval: int = 32,
+    ) -> None:
+        if check_interval < 1:
+            raise ValueError("check_interval must be at least 1")
+        self.deadline_seconds = deadline_seconds
+        self.max_states = max_states
+        self.max_transitions = max_transitions
+        self.max_rss_kb = max_rss_kb
+        self.token = token
+        self.check_interval = check_interval
+        self._started = time.monotonic()
+        self._calls = 0
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    def restart(self) -> "RunBudget":
+        """Reset the deadline clock (used between degradation attempts)."""
+        self._started = time.monotonic()
+        self._calls = 0
+        return self
+
+    def elapsed_seconds(self) -> float:
+        return time.monotonic() - self._started
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when no deadline is set)."""
+        if self.deadline_seconds is None:
+            return None
+        return self.deadline_seconds - self.elapsed_seconds()
+
+    # ------------------------------------------------------------------
+    # checking
+    # ------------------------------------------------------------------
+    def exhaust(self, reason: str, phase: str, limit: str, **progress: int) -> None:
+        """Raise :class:`BudgetExhausted` with a progress snapshot."""
+        snapshot = {k: v for k, v in progress.items() if v is not None}
+        raise BudgetExhausted(Exhaustion(
+            reason=reason, phase=phase, limit=limit, progress=snapshot,
+        ))
+
+    def check(
+        self,
+        phase: str,
+        states: Optional[int] = None,
+        transitions: Optional[int] = None,
+        **progress: int,
+    ) -> None:
+        """Raise :class:`BudgetExhausted` if any limit has been hit.
+
+        ``states`` / ``transitions`` are the loop's own counters and are
+        compared against the caps on every call; extra keyword counters
+        (``sweeps=...``, ``pairs=...``) only enrich the snapshot.
+        """
+        token = self.token
+        if token is not None and token.is_set():
+            self.exhaust(
+                REASON_INTERRUPTED, phase, "cancelled (SIGINT)",
+                states=states, transitions=transitions, **progress,
+            )
+        if self.max_states is not None and states is not None \
+                and states > self.max_states:
+            self.exhaust(
+                REASON_STATES, phase, f"max_states={self.max_states}",
+                states=states, transitions=transitions, **progress,
+            )
+        if self.max_transitions is not None and transitions is not None \
+                and transitions > self.max_transitions:
+            self.exhaust(
+                REASON_TRANSITIONS, phase,
+                f"max_transitions={self.max_transitions}",
+                states=states, transitions=transitions, **progress,
+            )
+        calls = self._calls
+        self._calls = calls + 1
+        if calls % self.check_interval:
+            return
+        if self.deadline_seconds is not None:
+            elapsed = time.monotonic() - self._started
+            if elapsed > self.deadline_seconds:
+                self.exhaust(
+                    REASON_DEADLINE, phase,
+                    f"deadline={self.deadline_seconds:.2f}s "
+                    f"(elapsed {elapsed:.2f}s)",
+                    states=states, transitions=transitions, **progress,
+                )
+        if self.max_rss_kb is not None:
+            rss = peak_rss_kb()
+            if rss > self.max_rss_kb:
+                self.exhaust(
+                    REASON_RSS, phase,
+                    f"max_rss_kb={self.max_rss_kb} (peak {rss})",
+                    states=states, transitions=transitions, **progress,
+                )
+
+    # ------------------------------------------------------------------
+    # SIGINT wiring
+    # ------------------------------------------------------------------
+    @contextmanager
+    def install_sigint(self) -> Iterator[CancellationToken]:
+        """Route SIGINT into the cancellation token for a ``with`` block.
+
+        The first Ctrl-C sets the token (a graceful stop at the next
+        budget check); a second Ctrl-C raises ``KeyboardInterrupt``
+        immediately.  Outside the main thread (or where ``signal`` is
+        unavailable) the token is yielded without any handler change.
+        """
+        token = self.token
+        if token is None:
+            token = self.token = CancellationToken()
+        if threading.current_thread() is not threading.main_thread():
+            yield token
+            return
+        previous = signal.getsignal(signal.SIGINT)
+
+        def handler(signum, frame):  # pragma: no cover - signal delivery
+            if token.is_set():
+                raise KeyboardInterrupt
+            token.set()
+
+        signal.signal(signal.SIGINT, handler)
+        try:
+            yield token
+        finally:
+            signal.signal(signal.SIGINT, previous)

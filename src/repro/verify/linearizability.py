@@ -21,6 +21,7 @@ from ..core import (
 )
 from ..lang import ClientConfig, ObjectProgram, SpecObject, explore, spec_lts
 from ..lang.client import Workload
+from ..util.budget import BudgetExhausted, Exhaustion, RunBudget, verdict_of
 from ..util.metrics import Stats, stage
 
 
@@ -31,10 +32,16 @@ class LinearizabilityResult:
     ``counterexample`` is a history (sequence of call/ret action
     labels) the implementation can produce but the specification
     cannot -- e.g. the HM-list double remove.
+
+    ``linearizable`` is three-valued: ``True`` / ``False`` when the
+    pipeline completed, ``None`` when a run budget was exhausted first
+    -- in which case ``exhaustion`` names the phase, the limit hit and
+    the progress made (``verdict`` renders the three cases as
+    ``TRUE`` / ``FALSE`` / ``UNKNOWN``).
     """
 
     object_name: str
-    linearizable: bool
+    linearizable: Optional[bool]
     counterexample: Optional[List[Hashable]]
     impl_states: int
     impl_quotient_states: int
@@ -47,6 +54,13 @@ class LinearizabilityResult:
     refinement_seconds: float
     #: The metrics sink the pipeline recorded into (None when disabled).
     stats: Optional[Stats] = None
+    #: Why the pipeline stopped early (None when it completed).
+    exhaustion: Optional[Exhaustion] = None
+
+    @property
+    def verdict(self) -> str:
+        """``TRUE`` / ``FALSE`` / ``UNKNOWN``."""
+        return verdict_of(self.linearizable)
 
     @property
     def reduction_factor(self) -> float:
@@ -78,6 +92,7 @@ def check_linearizability(
     max_states: Optional[int] = None,
     stats: Optional[Stats] = None,
     reduce: bool = True,
+    budget: Optional[RunBudget] = None,
 ) -> LinearizabilityResult:
     """Run the full Theorem 5.3 pipeline for one object.
 
@@ -92,6 +107,11 @@ def check_linearizability(
     ``explore`` / ``spec`` / ``quotient`` (with nested ``reduce`` /
     ``refinement``) / ``check`` stages plus state, transition and sweep
     counters; the sink is attached to the result as ``result.stats``.
+
+    With a :class:`~repro.util.budget.RunBudget` the pipeline is
+    governed end to end: exhaustion in any phase yields a result with
+    ``linearizable=None`` (verdict ``UNKNOWN``) carrying the exhaustion
+    record -- it never raises.
     """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
@@ -101,27 +121,57 @@ def check_linearizability(
         workload=workload,
         max_states=max_states,
     )
-    t0 = time.perf_counter()
-    impl = explore(program, config, stats=stats)
-    spec_system = spec_lts(
-        spec, num_threads, ops_per_thread, workload, max_states=max_states,
-        stats=stats,
-    )
-    t1 = time.perf_counter()
-    with stage(stats, "quotient"):
-        impl_quotient = quotient_lts(
-            impl, branching_partition(impl, stats=stats, reduce=reduce)
+    impl_states = impl_quotient_states = 0
+    spec_states = spec_quotient_states = 0
+    t0 = t1 = t2 = t3 = time.perf_counter()
+    try:
+        impl = explore(program, config, stats=stats, budget=budget)
+        impl_states = impl.num_states
+        spec_system = spec_lts(
+            spec, num_threads, ops_per_thread, workload, max_states=max_states,
+            stats=stats, budget=budget,
         )
-        spec_quotient = quotient_lts(
-            spec_system,
-            branching_partition(spec_system, stats=stats, reduce=reduce),
+        spec_states = spec_system.num_states
+        t1 = time.perf_counter()
+        with stage(stats, "quotient"):
+            impl_quotient = quotient_lts(
+                impl,
+                branching_partition(impl, stats=stats, reduce=reduce,
+                                    budget=budget),
+            )
+            impl_quotient_states = impl_quotient.lts.num_states
+            spec_quotient = quotient_lts(
+                spec_system,
+                branching_partition(spec_system, stats=stats, reduce=reduce,
+                                    budget=budget),
+            )
+            spec_quotient_states = spec_quotient.lts.num_states
+            if stats is not None:
+                stats.count("impl_states", impl_quotient.lts.num_states)
+                stats.count("spec_states", spec_quotient.lts.num_states)
+        t2 = time.perf_counter()
+        refinement = trace_refines(
+            impl_quotient.lts, spec_quotient.lts, stats=stats, budget=budget
         )
-        if stats is not None:
-            stats.count("impl_states", impl_quotient.lts.num_states)
-            stats.count("spec_states", spec_quotient.lts.num_states)
-    t2 = time.perf_counter()
-    refinement = trace_refines(impl_quotient.lts, spec_quotient.lts, stats=stats)
-    t3 = time.perf_counter()
+        t3 = time.perf_counter()
+    except BudgetExhausted as exc:
+        now = time.perf_counter()
+        return LinearizabilityResult(
+            object_name=program.name,
+            linearizable=None,
+            counterexample=None,
+            impl_states=impl_states,
+            impl_quotient_states=impl_quotient_states,
+            spec_states=spec_states,
+            spec_quotient_states=spec_quotient_states,
+            num_threads=num_threads,
+            ops_per_thread=ops_per_thread,
+            explore_seconds=(t1 - t0) if t1 > t0 else now - t0,
+            quotient_seconds=(t2 - t1) if t2 > t1 else 0.0,
+            refinement_seconds=0.0,
+            stats=stats,
+            exhaustion=exc.exhaustion,
+        )
     return LinearizabilityResult(
         object_name=program.name,
         linearizable=refinement.holds,

@@ -30,15 +30,20 @@ from ..core import (
 )
 from ..lang import ClientConfig, ObjectProgram, explore
 from ..lang.client import Workload
+from ..util.budget import BudgetExhausted, Exhaustion, RunBudget, verdict_of
 from ..util.metrics import Stats, stage
 
 
 @dataclass
 class LockFreedomResult:
-    """Outcome of an automatic Theorem 5.9 check."""
+    """Outcome of an automatic Theorem 5.9 check.
+
+    ``lock_free`` is three-valued: ``None`` means a run budget was
+    exhausted before the check decided (see ``exhaustion``/``verdict``).
+    """
 
     object_name: str
-    lock_free: bool
+    lock_free: Optional[bool]
     impl_states: int
     quotient_states: int
     num_threads: int
@@ -47,6 +52,13 @@ class LockFreedomResult:
     seconds: float
     #: The metrics sink the pipeline recorded into (None when disabled).
     stats: Optional[Stats] = None
+    #: Why the pipeline stopped early (None when it completed).
+    exhaustion: Optional[Exhaustion] = None
+
+    @property
+    def verdict(self) -> str:
+        """``TRUE`` / ``FALSE`` / ``UNKNOWN``."""
+        return verdict_of(self.lock_free)
 
     def render_diagnostic(self) -> str:
         if self.diagnostic is None:
@@ -63,6 +75,7 @@ def check_lock_freedom_auto(
     method: str = "union",
     stats: Optional[Stats] = None,
     reduce: bool = True,
+    budget: Optional[RunBudget] = None,
 ) -> LockFreedomResult:
     """Theorem 5.9: fully automatic lock-freedom check.
 
@@ -85,6 +98,10 @@ def check_lock_freedom_auto(
 
     ``reduce`` (default on) compresses silent structure before each
     refinement; it changes timings only, never verdicts.
+
+    With a :class:`~repro.util.budget.RunBudget` the check is governed
+    end to end: exhaustion yields ``lock_free=None`` (``UNKNOWN``) with
+    the exhaustion record attached -- it never raises.
     """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
@@ -96,23 +113,45 @@ def check_lock_freedom_auto(
         workload=workload,
         max_states=max_states,
     )
+    impl_states = quotient_states = 0
     t0 = time.perf_counter()
-    impl = explore(program, config, stats=stats)
-    with stage(stats, "quotient"):
-        quotient = quotient_lts(
-            impl, branching_partition(impl, stats=stats, reduce=reduce)
-        )
-        if stats is not None:
-            stats.count("impl_states", quotient.lts.num_states)
-    with stage(stats, "check"):
-        if method == "union":
-            comparison = compare_branching(
-                impl, quotient.lts, divergence=True, stats=stats, reduce=reduce
+    try:
+        impl = explore(program, config, stats=stats, budget=budget)
+        impl_states = impl.num_states
+        with stage(stats, "quotient"):
+            quotient = quotient_lts(
+                impl,
+                branching_partition(impl, stats=stats, reduce=reduce,
+                                    budget=budget),
             )
-            lock_free = comparison.equivalent
-        else:
-            lock_free = not tau_cycle_states(impl)
-    diagnostic = None if lock_free else find_divergence_lasso(impl)
+            quotient_states = quotient.lts.num_states
+            if stats is not None:
+                stats.count("impl_states", quotient.lts.num_states)
+        with stage(stats, "check"):
+            if method == "union":
+                comparison = compare_branching(
+                    impl, quotient.lts, divergence=True, stats=stats,
+                    reduce=reduce, budget=budget,
+                )
+                lock_free = comparison.equivalent
+            else:
+                lock_free = not tau_cycle_states(impl, budget=budget)
+        diagnostic = (
+            None if lock_free else find_divergence_lasso(impl, budget=budget)
+        )
+    except BudgetExhausted as exc:
+        return LockFreedomResult(
+            object_name=program.name,
+            lock_free=None,
+            impl_states=impl_states,
+            quotient_states=quotient_states,
+            num_threads=num_threads,
+            ops_per_thread=ops_per_thread,
+            diagnostic=None,
+            seconds=time.perf_counter() - t0,
+            stats=stats,
+            exhaustion=exc.exhaustion,
+        )
     seconds = time.perf_counter() - t0
     return LockFreedomResult(
         object_name=program.name,
@@ -129,7 +168,13 @@ def check_lock_freedom_auto(
 
 @dataclass
 class AbstractLockFreedomResult:
-    """Outcome of a Theorem 5.8 check via an abstract object."""
+    """Outcome of a Theorem 5.8 check via an abstract object.
+
+    ``lock_free`` is ``None`` both when the bisimulation against the
+    abstract object failed (no verdict transfers) and when a run budget
+    was exhausted (``exhaustion`` is set in that case); either way the
+    rendered verdict is ``UNKNOWN``.
+    """
 
     object_name: str
     abstract_name: str
@@ -142,6 +187,8 @@ class AbstractLockFreedomResult:
     seconds: float
     #: The metrics sink the pipeline recorded into (None when disabled).
     stats: Optional[Stats] = None
+    #: Why the pipeline stopped early (None when it completed).
+    exhaustion: Optional[Exhaustion] = None
 
     @property
     def lock_free(self) -> Optional[bool]:
@@ -149,6 +196,11 @@ class AbstractLockFreedomResult:
         if not self.div_bisimilar:
             return None
         return self.abstract_lock_free
+
+    @property
+    def verdict(self) -> str:
+        """``TRUE`` / ``FALSE`` / ``UNKNOWN``."""
+        return verdict_of(self.lock_free)
 
 
 def check_lock_freedom_abstract(
@@ -160,6 +212,7 @@ def check_lock_freedom_abstract(
     max_states: Optional[int] = None,
     stats: Optional[Stats] = None,
     reduce: bool = True,
+    budget: Optional[RunBudget] = None,
 ) -> AbstractLockFreedomResult:
     """Theorem 5.8: prove ``concrete ~div abstract``, check the abstract.
 
@@ -174,17 +227,37 @@ def check_lock_freedom_abstract(
         workload=workload,
         max_states=max_states,
     )
+    concrete_states = abstract_states = 0
     t0 = time.perf_counter()
-    concrete = explore(program, config, stats=stats)
-    abstract_system = explore(abstract, config, stats=stats)
-    with stage(stats, "check"):
-        comparison = compare_branching(
-            concrete, abstract_system, divergence=True, stats=stats,
-            reduce=reduce,
+    try:
+        concrete = explore(program, config, stats=stats, budget=budget)
+        concrete_states = concrete.num_states
+        abstract_system = explore(abstract, config, stats=stats, budget=budget)
+        abstract_states = abstract_system.num_states
+        with stage(stats, "check"):
+            comparison = compare_branching(
+                concrete, abstract_system, divergence=True, stats=stats,
+                reduce=reduce, budget=budget,
+            )
+            abstract_lock_free: Optional[bool] = None
+            if comparison.equivalent:
+                abstract_lock_free = not tau_cycle_states(
+                    abstract_system, budget=budget
+                )
+    except BudgetExhausted as exc:
+        return AbstractLockFreedomResult(
+            object_name=program.name,
+            abstract_name=abstract.name,
+            div_bisimilar=False,
+            abstract_lock_free=None,
+            concrete_states=concrete_states,
+            abstract_states=abstract_states,
+            num_threads=num_threads,
+            ops_per_thread=ops_per_thread,
+            seconds=time.perf_counter() - t0,
+            stats=stats,
+            exhaustion=exc.exhaustion,
         )
-        abstract_lock_free: Optional[bool] = None
-        if comparison.equivalent:
-            abstract_lock_free = not tau_cycle_states(abstract_system)
     seconds = time.perf_counter() - t0
     return AbstractLockFreedomResult(
         object_name=program.name,

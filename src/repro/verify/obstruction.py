@@ -39,6 +39,7 @@ from ..core.graphs import tarjan_scc
 from ..core.lts import LTS, TAU_ID
 from ..lang import ClientConfig, ObjectProgram, explore
 from ..lang.client import Workload
+from ..util.budget import BudgetExhausted, Exhaustion, RunBudget, verdict_of
 from ..util.metrics import Stats, stage
 
 
@@ -118,10 +119,14 @@ def _solo_cycle_from(lts: LTS, state: int, tid: int) -> List[Step]:
 
 @dataclass
 class ObstructionFreedomResult:
-    """Outcome of an obstruction-freedom check."""
+    """Outcome of an obstruction-freedom check.
+
+    ``obstruction_free`` is three-valued: ``None`` means a run budget
+    was exhausted before the check decided (see ``exhaustion``).
+    """
 
     object_name: str
-    obstruction_free: bool
+    obstruction_free: Optional[bool]
     impl_states: int
     num_threads: int
     ops_per_thread: object
@@ -131,6 +136,13 @@ class ObstructionFreedomResult:
     seconds: float
     #: The metrics sink the pipeline recorded into (None when disabled).
     stats: Optional[Stats] = None
+    #: Why the pipeline stopped early (None when it completed).
+    exhaustion: Optional[Exhaustion] = None
+
+    @property
+    def verdict(self) -> str:
+        """``TRUE`` / ``FALSE`` / ``UNKNOWN``."""
+        return verdict_of(self.obstruction_free)
 
     def render_diagnostic(self) -> str:
         if self.diagnostic is None:
@@ -148,8 +160,14 @@ def check_obstruction_freedom(
     workload: Optional[Workload] = None,
     max_states: Optional[int] = None,
     stats: Optional[Stats] = None,
+    budget: Optional[RunBudget] = None,
 ) -> ObstructionFreedomResult:
-    """Check obstruction-freedom of a (non-blocking) object program."""
+    """Check obstruction-freedom of a (non-blocking) object program.
+
+    With a :class:`~repro.util.budget.RunBudget` the check is governed
+    end to end: exhaustion yields ``obstruction_free=None``
+    (``UNKNOWN``) with the exhaustion record attached -- never raises.
+    """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
     config = ClientConfig(
@@ -158,24 +176,44 @@ def check_obstruction_freedom(
         workload=workload,
         max_states=max_states,
     )
+    impl_states = 0
     start = time.perf_counter()
-    impl = explore(program, config, stats=stats)
     spinning_thread: Optional[int] = None
     diagnostic: Optional[Lasso] = None
-    with stage(stats, "check"):
-        for tid in range(1, num_threads + 1):
-            on_cycle = set(solo_tau_cycle_states(impl, tid))
-            if not on_cycle:
-                continue
-            stem = _shortest_path(impl, [impl.init], on_cycle)
-            if stem is None:
-                continue  # unreachable solo cycle
-            spinning_thread = tid
-            entry = stem[-1].dst if stem else impl.init
-            if entry not in on_cycle:
-                entry = impl.init
-            diagnostic = Lasso(stem=stem, cycle=_solo_cycle_from(impl, entry, tid))
-            break
+    try:
+        impl = explore(program, config, stats=stats, budget=budget)
+        impl_states = impl.num_states
+        with stage(stats, "check"):
+            for tid in range(1, num_threads + 1):
+                if budget is not None:
+                    budget.check("check", states=impl_states, thread=tid)
+                on_cycle = set(solo_tau_cycle_states(impl, tid))
+                if not on_cycle:
+                    continue
+                stem = _shortest_path(impl, [impl.init], on_cycle)
+                if stem is None:
+                    continue  # unreachable solo cycle
+                spinning_thread = tid
+                entry = stem[-1].dst if stem else impl.init
+                if entry not in on_cycle:
+                    entry = impl.init
+                diagnostic = Lasso(
+                    stem=stem, cycle=_solo_cycle_from(impl, entry, tid)
+                )
+                break
+    except BudgetExhausted as exc:
+        return ObstructionFreedomResult(
+            object_name=program.name,
+            obstruction_free=None,
+            impl_states=impl_states,
+            num_threads=num_threads,
+            ops_per_thread=ops_per_thread,
+            spinning_thread=None,
+            diagnostic=None,
+            seconds=time.perf_counter() - start,
+            stats=stats,
+            exhaustion=exc.exhaustion,
+        )
     return ObstructionFreedomResult(
         object_name=program.name,
         obstruction_free=spinning_thread is None,

@@ -165,6 +165,29 @@ def test_max_states_raises():
         explore(counter_program(), ClientConfig(2, 2, WL, max_states=10))
 
 
+def test_state_explosion_is_budget_exhaustion():
+    # Budget-aware callers catch the whole taxonomy with one except.
+    from repro.util.budget import BudgetExhausted
+
+    with pytest.raises(BudgetExhausted) as exc:
+        explore(counter_program(), ClientConfig(2, 2, WL, max_states=10))
+    assert exc.value.reason == "states"
+    assert exc.value.phase == "explore"
+    assert exc.value.progress["states"] > 10
+
+
+def test_default_state_cap_and_opt_out():
+    from repro.lang.client import DEFAULT_MAX_STATES
+
+    # None means the documented safety net, 0 opts out, positive wins.
+    assert ClientConfig(2, 1, WL).effective_max_states() == DEFAULT_MAX_STATES
+    assert ClientConfig(2, 1, WL, max_states=0).effective_max_states() is None
+    assert ClientConfig(2, 1, WL, max_states=7).effective_max_states() == 7
+    # The opt-out really is unbounded for a system of any explorable size.
+    lts = explore(counter_program(), ClientConfig(2, 2, WL, max_states=0))
+    assert lts.num_states > 0
+
+
 def test_bad_workloads_rejected():
     with pytest.raises(ModelError):
         explore(counter_program(), ClientConfig(2, 1, []))

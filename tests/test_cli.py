@@ -151,3 +151,108 @@ def test_explore_and_quotient_stats(tmp_path, capsys):
     assert code == 0
     assert "-- compare --" in out
     assert "parse" in out and "check" in out
+
+
+# ----------------------------------------------------------------------
+# run budgets, three-valued exits, checkpoint/resume (docs/ROBUSTNESS.md)
+# ----------------------------------------------------------------------
+
+def test_lin_true_exits_zero(capsys):
+    code = main(["lin", "newcas", "--threads", "2", "--ops", "1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "linearizable: TRUE" in out
+
+
+def test_lin_zero_deadline_exits_unknown(capsys):
+    code = main(["lin", "ms_queue", "--deadline", "0"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "UNKNOWN" in out
+    assert "deadline" in out
+    assert "phase 'explore'" in out
+
+
+def test_lin_degrade_reports_both_attempts(capsys):
+    code = main(["lin", "ms_queue", "--deadline", "0", "--degrade"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "degrade: retrying" in out
+    assert "degraded verdict" in out
+
+
+def test_lin_false_exits_one(capsys):
+    code = main(["lin", "hm_list_buggy", "--threads", "2", "--ops", "2"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "linearizable: FALSE" in out
+
+
+def test_lockfree_exit_codes(capsys):
+    assert main(["lockfree", "newcas", "--ops", "1"]) == 0
+    assert "lock-free: TRUE" in capsys.readouterr().out
+    assert main(["lockfree", "hw_queue", "--ops", "1"]) == 1
+    assert "lock-free: FALSE" in capsys.readouterr().out
+    assert main(["lockfree", "ms_queue", "--deadline", "0"]) == 2
+    assert "UNKNOWN" in capsys.readouterr().out
+
+
+def test_verify_unknown_exits_two(capsys):
+    code = main(["verify", "newcas", "--ops", "1", "--deadline", "0"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "UNKNOWN" in out
+
+
+def test_lin_stats_flushed_on_unknown(tmp_path, capsys):
+    import json
+
+    path = str(tmp_path / "stats.json")
+    code = main(["lin", "ms_queue", "--deadline", "0", "--json", path])
+    capsys.readouterr()
+    assert code == 2
+    payload = json.loads(open(path).read())
+    assert payload["command"] == "lin"
+    assert "linearizability ops=2" in payload["pipelines"]
+
+
+def test_explore_checkpoint_resume_bit_identical(tmp_path, capsys):
+    full = str(tmp_path / "full.aut")
+    resumed = str(tmp_path / "resumed.aut")
+    ckpt = str(tmp_path / "t.ckpt")
+    assert main(["explore", "treiber", "--out", full]) == 0
+    code = main(["explore", "treiber", "--out", resumed,
+                 "--checkpoint", ckpt, "--max-states", "500"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "UNKNOWN" in out and "checkpoint left at" in out
+    assert main(["explore", "treiber", "--out", resumed,
+                 "--resume", ckpt]) == 0
+    assert open(full).read() == open(resumed).read()
+
+
+def test_keyboard_interrupt_in_handler_exits_130(capsys, monkeypatch):
+    from repro import cli
+
+    def boom(_args):
+        raise KeyboardInterrupt
+
+    monkeypatch.setitem(cli.HANDLERS, "list", boom)
+    assert main(["list"]) == 130
+    assert "interrupted" in capsys.readouterr().err
+
+
+def test_fuzz_instance_deadline_counts_exhausted(capsys):
+    code = main(["fuzz", "--seed", "3", "--n", "10",
+                 "--instance-deadline", "0.0001"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "exhausted=" in out
+
+
+def test_fuzz_drop_budget_checks_mutation_is_caught(capsys):
+    code = main(["fuzz", "--seed", "0", "--n", "20",
+                 "--mutate", "drop-budget-checks", "--expect-bug"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "budget:governance" in out

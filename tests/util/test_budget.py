@@ -1,0 +1,152 @@
+"""Unit tests for the run-budget governance layer (repro.util.budget)."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.util.budget import (
+    ALL_REASONS,
+    EXIT_FALSE,
+    EXIT_INTERRUPTED,
+    EXIT_TRUE,
+    EXIT_UNKNOWN,
+    FALSE,
+    REASON_DEADLINE,
+    REASON_INTERRUPTED,
+    REASON_RSS,
+    REASON_STATES,
+    REASON_TRANSITIONS,
+    TRUE,
+    UNKNOWN,
+    BudgetExhausted,
+    CancellationToken,
+    Exhaustion,
+    RunBudget,
+    exit_code_for,
+    verdict_of,
+)
+
+
+def test_verdict_of_maps_the_three_values():
+    assert verdict_of(True) == TRUE
+    assert verdict_of(False) == FALSE
+    assert verdict_of(None) == UNKNOWN
+
+
+def test_exit_codes():
+    assert exit_code_for(TRUE) == EXIT_TRUE == 0
+    assert exit_code_for(FALSE) == EXIT_FALSE == 1
+    assert exit_code_for(UNKNOWN) == EXIT_UNKNOWN == 2
+    assert EXIT_INTERRUPTED == 130
+
+
+def test_unlimited_budget_never_fires():
+    budget = RunBudget()
+    for _ in range(1000):
+        budget.check("explore", states=10**9, transitions=10**9)
+
+
+def test_state_cap_fires_with_progress_snapshot():
+    budget = RunBudget(max_states=10)
+    budget.check("explore", states=10)
+    with pytest.raises(BudgetExhausted) as exc:
+        budget.check("explore", states=11, transitions=7, frontier=3)
+    exhaustion = exc.value.exhaustion
+    assert exhaustion.reason == REASON_STATES
+    assert exhaustion.phase == "explore"
+    assert exhaustion.progress["states"] == 11
+    assert exhaustion.progress["transitions"] == 7
+    assert exhaustion.progress["frontier"] == 3
+
+
+def test_transition_cap_fires():
+    budget = RunBudget(max_transitions=5)
+    with pytest.raises(BudgetExhausted) as exc:
+        budget.check("reduce", transitions=6)
+    assert exc.value.reason == REASON_TRANSITIONS
+
+
+def test_deadline_fires_on_first_strided_probe():
+    budget = RunBudget(deadline_seconds=0.0)
+    with pytest.raises(BudgetExhausted) as exc:
+        budget.check("refinement", states=1)
+    assert exc.value.reason == REASON_DEADLINE
+    assert exc.value.phase == "refinement"
+
+
+def test_deadline_is_strided_not_per_call():
+    # A generous deadline is only probed every check_interval calls; the
+    # counters still guard every call.
+    budget = RunBudget(deadline_seconds=3600.0, check_interval=64)
+    for _ in range(500):
+        budget.check("explore", states=1)
+    assert budget.remaining_seconds() > 0
+
+
+def test_rss_cap_fires():
+    budget = RunBudget(max_rss_kb=1)  # any real process exceeds 1 KiB
+    with pytest.raises(BudgetExhausted) as exc:
+        budget.check("check")
+    assert exc.value.reason == REASON_RSS
+
+
+def test_cancellation_token_fires_every_call():
+    token = CancellationToken()
+    budget = RunBudget(token=token, check_interval=10**9)
+    budget.check("explore")
+    token.set()
+    with pytest.raises(BudgetExhausted) as exc:
+        budget.check("explore", states=42)
+    assert exc.value.reason == REASON_INTERRUPTED
+    token.clear()
+    budget.check("explore")
+
+
+def test_restart_resets_the_clock():
+    budget = RunBudget(deadline_seconds=0.05)
+    time.sleep(0.06)
+    with pytest.raises(BudgetExhausted):
+        budget.check("explore")
+    budget.restart()
+    budget.check("explore")  # fresh deadline window
+
+
+def test_exhaustion_render_and_dict_round_trip():
+    exhaustion = Exhaustion(
+        reason=REASON_STATES, phase="explore", limit="max_states=50",
+        progress={"states": 51},
+    )
+    text = exhaustion.render()
+    assert "explore" in text and "max_states=50" in text and "states=51" in text
+    payload = exhaustion.to_dict()
+    assert payload["schema"] == "repro.exhaustion/v1"
+    assert payload["reason"] == REASON_STATES
+    assert payload["progress"] == {"states": 51}
+    assert REASON_STATES in ALL_REASONS
+
+
+def test_install_sigint_graceful_then_restores(monkeypatch):
+    budget = RunBudget()
+    previous = signal.getsignal(signal.SIGINT)
+    with budget.install_sigint():
+        os.kill(os.getpid(), signal.SIGINT)
+        # first Ctrl-C: no KeyboardInterrupt, the token is set instead
+        deadline = time.monotonic() + 2.0
+        while not budget.token.is_set() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert budget.token.is_set()
+        with pytest.raises(BudgetExhausted) as exc:
+            budget.check("explore")
+        assert exc.value.reason == REASON_INTERRUPTED
+    assert signal.getsignal(signal.SIGINT) == previous
+
+
+def test_install_sigint_second_interrupt_raises():
+    budget = RunBudget()
+    with budget.install_sigint():
+        handler = signal.getsignal(signal.SIGINT)
+        handler(signal.SIGINT, None)
+        with pytest.raises(KeyboardInterrupt):
+            handler(signal.SIGINT, None)
