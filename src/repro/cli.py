@@ -15,11 +15,16 @@ Subcommands::
 The long-running commands accept run-budget flags (``--deadline``,
 ``--max-rss-mb``) and degrade gracefully: on exhaustion they print a
 structured ``UNKNOWN`` verdict naming the phase, the limit hit and the
-progress made, and exit 2 (``--degrade`` retries once with reduction
-forced on and a smaller workload first).  Exit codes are 0/1/2 for
+progress made, and exit 2.  ``--degrade`` descends the
+(threads, ops, values) workload lattice -- reduction forced on, up to
+``--degrade-steps`` smaller configurations -- stopping at the first
+verdict that completes within budget.  Exit codes are 0/1/2 for
 TRUE/FALSE/UNKNOWN and 130 after a SIGINT -- partial ``--stats`` /
 ``--json`` output is flushed either way.  ``explore`` additionally
-supports ``--checkpoint PATH`` / ``--resume PATH``.
+supports ``--checkpoint PATH`` / ``--resume PATH``, and ``explore`` /
+``lin`` / ``lockfree`` accept ``--workers N`` to shard exploration
+across worker processes with crash recovery (byte-identical output;
+``--fault-plan`` injects failures on purpose).
 See docs/ROBUSTNESS.md.
 
 Examples::
@@ -54,6 +59,7 @@ from .core.aut import read_aut, write_aut
 from .lang import ClientConfig, explore
 from .lang.checkpoint import CheckpointSink, load_checkpoint
 from .objects import BENCHMARKS, get
+from .parallel import maybe_parallel_explore
 from .util import Stats, render_table, stage
 from .util.budget import (
     EXIT_INTERRUPTED,
@@ -99,8 +105,25 @@ def _add_budget(parser: argparse.ArgumentParser, degrade: bool = False) -> None:
                         help="peak-RSS budget in megabytes")
     if degrade:
         parser.add_argument("--degrade", action="store_true",
-                            help="on exhaustion, retry once with reduction "
-                                 "forced on and a smaller workload")
+                            help="on exhaustion, descend the (threads, ops, "
+                                 "values) workload lattice with reduction "
+                                 "forced on until a verdict completes")
+        parser.add_argument("--degrade-steps", type=int, default=3,
+                            metavar="N",
+                            help="maximum rungs of the degradation descent "
+                                 "(default 3)")
+
+
+def _add_parallel(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="shard exploration across N worker processes "
+                             "(0 = in-process serial); output is "
+                             "byte-identical either way")
+    parser.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="inject worker failures for testing, e.g. "
+                             "'kill:1@40,stall:*@10,corrupt:0@5'")
+    parser.add_argument("--shard-states", type=int, default=None, metavar="K",
+                        help="frontier states per work shard (default 128)")
 
 
 def _budget_from(args) -> RunBudget:
@@ -282,63 +305,99 @@ def _print_lin(result, label: str = "linearizable") -> None:
 
 def cmd_lin(args) -> int:
     """Linearizability with budget governance and a degradation ladder."""
-    bench, workload, _config = _bench_and_config(args)
+    bench, _workload, _config = _bench_and_config(args)
     sinks, sink = _make_sinks(args)
     budget = _budget_from(args)
     print(f"== {bench.title} | linearizability | "
           f"{args.threads} threads x {args.ops} ops ==")
+    spec_sink = (
+        CheckpointSink(args.spec_checkpoint) if args.spec_checkpoint else None
+    )
+    spec_resume = (
+        load_checkpoint(args.spec_resume) if args.spec_resume else None
+    )
 
-    def attempt(ops: int, force_reduce: bool):
+    def attempt(threads: int, ops: int, values: int, force_reduce: bool):
         return check_linearizability(
-            bench.build(args.threads), bench.spec(),
-            num_threads=args.threads, ops_per_thread=ops,
-            workload=workload, max_states=args.max_states,
-            stats=sink(f"linearizability ops={ops}"),
+            bench.build(threads), bench.spec(),
+            num_threads=threads, ops_per_thread=ops,
+            workload=bench.default_workload(values),
+            max_states=args.max_states,
+            stats=sink(f"linearizability t={threads} ops={ops} v={values}"),
             reduce=force_reduce or not args.no_reduce,
             budget=budget,
+            workers=args.workers, fault_plan=args.fault_plan,
+            spec_checkpoint=spec_sink, spec_resume=spec_resume,
         )
 
     with budget.install_sigint():
-        result = attempt(args.ops, False)
+        result = attempt(args.threads, args.ops, args.values, False)
         _print_lin(result)
         result = _degrade_retry(args, budget, result, attempt, _print_lin)
     _emit_stats(args, sinks)
     return _verdict_exit(result)
 
 
+def _degrade_rungs(threads: int, ops: int, values: int, steps: int):
+    """The bounded descent over the (threads, ops, values) lattice.
+
+    Each rung shrinks the cheapest-to-sacrifice coordinate still above
+    its floor of 1 -- operations first (state count is roughly
+    exponential in ops), then data values, then threads -- yielding at
+    most ``steps`` successively smaller workload configurations.
+    """
+    for _ in range(max(0, steps)):
+        if ops > 1:
+            ops -= 1
+        elif values > 1:
+            values -= 1
+        elif threads > 1:
+            threads -= 1
+        else:
+            return
+        yield threads, ops, values
+
+
 def _degrade_retry(args, budget, result, attempt, printer):
-    """The degradation ladder: one retry, reduction on, smaller workload."""
-    if (
-        not getattr(args, "degrade", False)
-        or result.verdict != UNKNOWN
-        or result.exhaustion.reason == REASON_INTERRUPTED
-    ):
+    """Descend the workload lattice until a verdict completes in budget."""
+    if not getattr(args, "degrade", False):
         return result
-    retry_ops = max(1, args.ops - 1)
-    print(f"degrade: retrying with reduction forced on and --ops {retry_ops}")
-    budget.restart()
-    retry = attempt(retry_ops, True)
-    printer(retry, "degraded verdict")
-    return retry
+    steps = getattr(args, "degrade_steps", 3)
+    for threads, ops, values in _degrade_rungs(
+        args.threads, args.ops, args.values, steps
+    ):
+        if (
+            result.verdict != UNKNOWN
+            or result.exhaustion.reason == REASON_INTERRUPTED
+        ):
+            return result
+        print(f"degrade: retrying with reduction forced on and "
+              f"--threads {threads} --ops {ops} --values {values}")
+        budget.restart()
+        result = attempt(threads, ops, values, True)
+        printer(result, "degraded verdict")
+    return result
 
 
 def cmd_lockfree(args) -> int:
     """Lock-freedom with budget governance and a degradation ladder."""
-    bench, workload, _config = _bench_and_config(args)
+    bench, _workload, _config = _bench_and_config(args)
     sinks, sink = _make_sinks(args)
     budget = _budget_from(args)
     print(f"== {bench.title} | lock-freedom | "
           f"{args.threads} threads x {args.ops} ops ==")
 
-    def attempt(ops: int, force_reduce: bool):
+    def attempt(threads: int, ops: int, values: int, force_reduce: bool):
         return check_lock_freedom_auto(
-            bench.build(args.threads),
-            num_threads=args.threads, ops_per_thread=ops,
-            workload=workload, max_states=args.max_states,
+            bench.build(threads),
+            num_threads=threads, ops_per_thread=ops,
+            workload=bench.default_workload(values),
+            max_states=args.max_states,
             method=args.method,
-            stats=sink(f"lock-freedom ops={ops}"),
+            stats=sink(f"lock-freedom t={threads} ops={ops} v={values}"),
             reduce=force_reduce or not args.no_reduce,
             budget=budget,
+            workers=args.workers, fault_plan=args.fault_plan,
         )
 
     def printer(result, label: str = "lock-free") -> None:
@@ -350,7 +409,7 @@ def cmd_lockfree(args) -> int:
             print(result.render_diagnostic())
 
     with budget.install_sigint():
-        result = attempt(args.ops, False)
+        result = attempt(args.threads, args.ops, args.values, False)
         printer(result)
         result = _degrade_retry(args, budget, result, attempt, printer)
     _emit_stats(args, sinks)
@@ -368,8 +427,10 @@ def cmd_explore(args) -> int:
     resume = load_checkpoint(args.resume) if args.resume else None
     with budget.install_sigint():
         try:
-            system = explore(
-                bench.build(args.threads), config, stats=stats,
+            system = maybe_parallel_explore(
+                bench.build(args.threads), config,
+                workers=args.workers, fault_plan=args.fault_plan,
+                shard_states=args.shard_states, stats=stats,
                 budget=budget, checkpoint=sink, resume=resume,
             )
         except BudgetExhausted as exc:
@@ -433,7 +494,11 @@ def cmd_quotient(args) -> int:
 
 
 def cmd_compare(args) -> int:
+    global _ACTIVE_SINKS
     stats = Stats() if _wants_stats(args) else None
+    if stats is not None:
+        _ACTIVE_SINKS = (args, {"compare": stats})
+    budget = _budget_from(args)
     with stage(stats, "parse"):
         left = read_aut(args.left)
         right = read_aut(args.right)
@@ -442,9 +507,22 @@ def cmd_compare(args) -> int:
             stats.count(
                 "transitions", left.num_transitions + right.num_transitions
             )
+    with budget.install_sigint():
+        try:
+            return _compare_governed(args, left, right, stats, budget)
+        except BudgetExhausted as exc:
+            print(f"UNKNOWN -- {exc.exhaustion.render()}")
+            if stats is not None:
+                _emit_stats(args, {"compare": stats})
+            if exc.exhaustion.reason == REASON_INTERRUPTED:
+                return EXIT_INTERRUPTED
+            return EXIT_UNKNOWN
+
+
+def _compare_governed(args, left, right, stats, budget) -> int:
     if args.relation == "trace":
-        forward = trace_refines(left, right, stats=stats)
-        backward = trace_refines(right, left, stats=stats)
+        forward = trace_refines(left, right, stats=stats, budget=budget)
+        backward = trace_refines(right, left, stats=stats, budget=budget)
         print(f"{args.left} refines {args.right}: {forward.holds}")
         print(f"{args.right} refines {args.left}: {backward.holds}")
         for result in (forward, backward):
@@ -461,14 +539,16 @@ def cmd_compare(args) -> int:
     if args.relation == "branching":
         outcome = compare(
             left, right, divergence=args.divergence, stats=stats,
-            reduce=args.reduce,
+            reduce=args.reduce, budget=budget,
         )
     else:
-        outcome = compare(left, right, stats=stats)
+        outcome = compare(left, right, stats=stats, budget=budget)
     name = args.relation + ("-divergence" if args.divergence else "")
     print(f"{name} bisimilar: {outcome.equivalent}")
     if not outcome.equivalent and args.relation == "branching":
-        explanation = explain_inequivalence(left, right, divergence=args.divergence)
+        explanation = explain_inequivalence(
+            left, right, divergence=args.divergence, budget=budget
+        )
         if explanation:
             print(explanation.render())
     if stats is not None:
@@ -535,6 +615,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_bounds(sub)
         _add_stats(sub)
         _add_budget(sub, degrade=True)
+        _add_parallel(sub)
         sub.add_argument("--no-reduce", action="store_true",
                          help="disable the silent-structure reduction pass")
         if name == "lockfree":
@@ -542,6 +623,13 @@ def build_parser() -> argparse.ArgumentParser:
                 "--method", choices=["union", "tau-cycle"], default="union",
                 help="how to detect divergence (see check_lock_freedom_auto)",
             )
+        else:
+            sub.add_argument("--spec-checkpoint", metavar="PATH", default=None,
+                             help="periodically snapshot the specification-"
+                                  "LTS generation to PATH")
+            sub.add_argument("--spec-resume", metavar="PATH", default=None,
+                             help="resume the specification-LTS generation "
+                                  "from a checkpoint instead of recomputing")
 
     for name, help_text in (
         ("explore", "export the object system as .aut"),
@@ -557,6 +645,7 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--no-reduce", action="store_true",
                              help="disable the silent-structure reduction pass")
         else:
+            _add_parallel(sub)
             sub.add_argument("--checkpoint", metavar="PATH", default=None,
                              help="periodically snapshot the exploration to "
                                   "PATH (also written on exhaustion)")
@@ -577,6 +666,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="compress silent structure before a "
                               "branching comparison")
     _add_stats(compare)
+    _add_budget(compare)
 
     commands.add_parser("bugs", help="re-run the paper's bug hunts")
 

@@ -23,12 +23,19 @@ from typing import Any, Hashable, List, Optional, Tuple
 from .branching import DIVERGENCE_MARK, _branching_signatures_ordered
 from .lts import TAU_ID, AnyLTS, disjoint_union
 from .partition import BlockMap, refine_step
+from ..util.budget import RunBudget
 
 
-def _sweep_history(lts: AnyLTS, divergence: bool) -> List[BlockMap]:
+def _sweep_history(
+    lts: AnyLTS, divergence: bool, budget: Optional[RunBudget] = None
+) -> List[BlockMap]:
     """All intermediate partitions of the signature refinement."""
     history: List[BlockMap] = [[0] * lts.num_states]
     while True:
+        if budget is not None:
+            budget.check(
+                "diagnostics", states=lts.num_states, sweeps=len(history)
+            )
         sigs = _branching_signatures_ordered(lts, history[-1], divergence)
         refined, changed = refine_step(history[-1], sigs)
         if not changed:
@@ -118,12 +125,15 @@ def explain_states(
     right: int,
     divergence: bool = False,
     max_depth: int = 64,
+    budget: Optional[RunBudget] = None,
 ) -> Optional[Explanation]:
     """Explain why ``left`` and ``right`` are not branching bisimilar.
 
-    Returns ``None`` when the states are bisimilar.
+    Returns ``None`` when the states are bisimilar.  ``budget`` is
+    checked once per refinement sweep and once per experiment level
+    (phase ``"diagnostics"``).
     """
-    history = _sweep_history(lts, divergence)
+    history = _sweep_history(lts, divergence, budget=budget)
     final = history[-1]
     if final[left] == final[right]:
         return None
@@ -137,6 +147,10 @@ def explain_states(
     levels: List[Level] = []
     s, r = left, right
     for _ in range(max_depth):
+        if budget is not None:
+            budget.check(
+                "diagnostics", states=lts.num_states, levels=len(levels)
+            )
         k = first_diff(s, r)
         base = history[k - 1]
         sigs = _branching_signatures_ordered(lts, base, divergence)
@@ -197,7 +211,10 @@ def explain_inequivalence(
     a: AnyLTS,
     b: AnyLTS,
     divergence: bool = False,
+    budget: Optional[RunBudget] = None,
 ) -> Optional[Explanation]:
     """Explain why two systems are not (div-)branching bisimilar."""
     union, init_a, init_b = disjoint_union(a, b)
-    return explain_states(union, init_a, init_b, divergence=divergence)
+    return explain_states(
+        union, init_a, init_b, divergence=divergence, budget=budget
+    )

@@ -60,6 +60,29 @@ def fingerprint(program: Any, config: Any) -> Dict[str, Any]:
     }
 
 
+def spec_fingerprint(
+    spec: Any, num_threads: int, ops_per_thread: Any, workload: Any
+) -> Dict[str, Any]:
+    """Identify a specification-LTS generation (:func:`repro.lang.spec_lts`).
+
+    Mirrors :func:`fingerprint`; ``max_states`` is excluded for the same
+    reason.  The ``kind`` marker keeps a spec checkpoint from ever
+    validating against an implementation exploration of the same name.
+    """
+    if isinstance(ops_per_thread, int):
+        budgets = tuple(ops_per_thread for _ in range(num_threads))
+    else:
+        budgets = tuple(ops_per_thread)
+    return {
+        "kind": "spec",
+        "spec": spec.name,
+        "methods": tuple(sorted(spec.methods)),
+        "num_threads": num_threads,
+        "budgets": budgets,
+        "workload": tuple((m, tuple(a)) for m, a in workload),
+    }
+
+
 @dataclass
 class Checkpoint:
     """Exploration state at a safe point (see module docstring)."""
@@ -68,10 +91,26 @@ class Checkpoint:
     builder: LTSBuilder
     #: Frontier as interned state ids, bottom of the DFS stack first.
     frontier: List[int] = field(default_factory=list)
+    #: Completed-but-not-yet-replayed state expansions salvaged by a
+    #: parallel run (``{state_key: [(label, dst_key, annotation), ...]}``).
+    #: Serial resume ignores them (and simply recomputes those states);
+    #: a parallel resume reuses them so no finished shard work is lost.
+    #: ``None`` on checkpoints written by serial exploration -- and on
+    #: checkpoints unpickled from files that predate this field, which
+    #: is why readers go through :meth:`salvaged_expansions`.
+    expansions: Optional[Dict[Any, List[Any]]] = None
 
     def frontier_keys(self) -> List[Any]:
         keys = self.builder.state_keys
         return [keys[sid] for sid in self.frontier]
+
+    def salvaged_expansions(self) -> Dict[Any, List[Any]]:
+        """The carried parallel expansions (``{}`` when absent).
+
+        Uses ``getattr`` because checkpoints pickled before the field
+        existed restore without an ``expansions`` attribute.
+        """
+        return getattr(self, "expansions", None) or {}
 
     def validate(self, expected_fingerprint: Dict[str, Any]) -> None:
         if self.fingerprint != expected_fingerprint:

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..core.lts import LTS, LTSBuilder, TAU
+from ..util.budget import BudgetExhausted
+from .checkpoint import Checkpoint, CheckpointSink, spec_fingerprint
 from .client import StateExplosion, Workload
 from .state import ModelError
 
@@ -59,21 +61,29 @@ def spec_lts(
     max_states: Optional[int] = None,
     stats: Optional["Stats"] = None,
     budget: Optional["RunBudget"] = None,
+    checkpoint: Optional[CheckpointSink] = None,
+    resume: Optional[Checkpoint] = None,
 ) -> LTS:
     """The linearizable specification LTS under the most general client.
 
     ``stats`` (optional) times the generation under a ``spec`` stage and
     records state/transition counts; the generation loop is shared with
     the uninstrumented path.  ``budget`` (optional) is checked once per
-    frontier pop under phase ``"spec"``.
+    frontier pop under phase ``"spec"``.  ``checkpoint`` / ``resume``
+    mirror :func:`repro.lang.client.explore`: generation state is
+    periodically serialized (guarded by :func:`spec_fingerprint`) and an
+    interrupted generation resumed from a checkpoint reproduces the
+    exact LTS an uninterrupted run would have produced.
     """
     if stats is None:
         return _spec_lts(
-            spec, num_threads, ops_per_thread, workload, max_states, budget
+            spec, num_threads, ops_per_thread, workload, max_states, budget,
+            checkpoint, resume,
         )
     with stats.stage("spec"):
         lts = _spec_lts(
-            spec, num_threads, ops_per_thread, workload, max_states, budget
+            spec, num_threads, ops_per_thread, workload, max_states, budget,
+            checkpoint, resume,
         )
         stats.count("states", lts.num_states)
         stats.count("transitions", lts.num_transitions)
@@ -87,27 +97,68 @@ def _spec_lts(
     workload: Workload,
     max_states: Optional[int] = None,
     budget: Optional["RunBudget"] = None,
+    checkpoint: Optional[CheckpointSink] = None,
+    resume: Optional[Checkpoint] = None,
 ) -> LTS:
     if not workload:
         raise ModelError("empty workload: nothing for the client to invoke")
     for mname, _args in workload:
         spec.method(mname)
 
-    builder = LTSBuilder()
     if isinstance(ops_per_thread, int):
         budgets = tuple(ops_per_thread for _ in range(num_threads))
     else:
         budgets = tuple(ops_per_thread)
         if len(budgets) != num_threads:
             raise ModelError("one budget per thread required")
-    init_key = (
-        spec.initial,
-        tuple((_IDLE, None, None, None, budget) for budget in budgets),
-    )
-    builder.set_init(init_key)
-    stack: List[Any] = [init_key]
 
+    run_id = None
+    if checkpoint is not None or resume is not None:
+        run_id = spec_fingerprint(spec, num_threads, ops_per_thread, workload)
+    if resume is not None:
+        resume.validate(run_id)
+        builder = resume.builder
+        stack: List[Any] = resume.frontier_keys()
+    else:
+        builder = LTSBuilder()
+        init_key = (
+            spec.initial,
+            tuple((_IDLE, None, None, None, budget) for budget in budgets),
+        )
+        builder.set_init(init_key)
+        stack = [init_key]
+
+    def snapshot() -> Checkpoint:
+        return Checkpoint(
+            fingerprint=run_id,
+            builder=builder,
+            frontier=[builder.state(k) for k in stack],
+        )
+
+    try:
+        return _spec_loop(
+            spec, workload, builder, stack, max_states, budget,
+            checkpoint, snapshot,
+        )
+    except BudgetExhausted:
+        if checkpoint is not None:
+            checkpoint.save(snapshot())
+        raise
+
+
+def _spec_loop(
+    spec: SpecObject,
+    workload: Workload,
+    builder: LTSBuilder,
+    stack: List[Any],
+    max_states: Optional[int],
+    budget: Optional["RunBudget"],
+    checkpoint: Optional[CheckpointSink],
+    snapshot,
+) -> LTS:
     while stack:
+        # Top of the loop is the one safe point (every interned state is
+        # fully expanded or still on the stack), as in client._explore.
         if budget is not None:
             budget.check(
                 "spec",
@@ -122,6 +173,8 @@ def _spec_lts(
                 states=builder.lts.num_states,
                 frontier=len(stack),
             )
+        if checkpoint is not None and checkpoint.due():
+            checkpoint.save(snapshot())
         key = stack.pop()
         abstract, threads = key
         for tid, record in enumerate(threads):

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from ..core.lts import LTS, AnyLTS
+from ..util.budget import RunBudget
 from .buchi import Buchi, ltl_to_buchi
 from .syntax import AP, Not
 
@@ -64,8 +65,16 @@ def _enabled(positive, negative, label: Hashable) -> bool:
     return True
 
 
-def check_ltl(lts: LTS, formula) -> LtlResult:
-    """Check whether every (stutter-completed) execution satisfies ``formula``."""
+def check_ltl(
+    lts: LTS, formula, budget: Optional[RunBudget] = None
+) -> LtlResult:
+    """Check whether every (stutter-completed) execution satisfies ``formula``.
+
+    ``budget``, when given, is checked once per product node visited in
+    either DFS (phase ``"ltl"``); exhaustion raises the structured
+    :class:`~repro.util.budget.BudgetExhausted` taxonomy, and callers
+    report ``UNKNOWN`` instead of a verdict.
+    """
     system = stutter_complete(lts)
     buchi = ltl_to_buchi(Not(formula))
 
@@ -92,6 +101,12 @@ def check_ltl(lts: LTS, formula) -> LtlResult:
         stack = [seed]
         local_parent[seed] = None
         while stack:
+            if budget is not None:
+                budget.check(
+                    "ltl",
+                    states=len(outer_done),
+                    inner_states=len(inner_done),
+                )
             node = stack.pop()
             for succ, label in product_successors(node):
                 if succ == seed:
@@ -117,6 +132,12 @@ def check_ltl(lts: LTS, formula) -> LtlResult:
         # after their descendants (required for nested-DFS correctness).
         stack: List[Tuple[Tuple[int, int], bool]] = [(start, False)]
         while stack:
+            if budget is not None:
+                budget.check(
+                    "ltl",
+                    states=len(outer_done),
+                    inner_states=len(inner_done),
+                )
             node, expanded = stack.pop()
             if expanded:
                 if node[1] in buchi.accepting:

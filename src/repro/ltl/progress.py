@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Hashable, Optional
 
 from ..core.lts import LTS
+from ..util.budget import RunBudget
 from .product import DEADLOCK, LtlResult, check_ltl
 from .syntax import AP, Finally, Globally, Implies
 
@@ -53,14 +54,17 @@ def lock_freedom_formula():
     return Globally(Finally(Or(RET, TERMINATED)))
 
 
-def check_lock_freedom_ltl(lts: LTS) -> LtlResult:
+def check_lock_freedom_ltl(
+    lts: LTS, budget: Optional[RunBudget] = None
+) -> LtlResult:
     """Model-check lock-freedom as an LTL property on the object system.
 
     An alternative, formula-based route to the same verdict as
     ``repro.verify.check_lock_freedom_auto`` (Theorem 5.9); the
     counterexample is a lasso whose cycle contains no return.
+    ``budget`` is threaded into the product search (phase ``"ltl"``).
     """
-    return check_ltl(lts, lock_freedom_formula())
+    return check_ltl(lts, lock_freedom_formula(), budget=budget)
 
 
 def thread_response_formula(tid: int, method: Optional[str] = None):

@@ -181,6 +181,42 @@ class CancellationToken:
 
 
 # ----------------------------------------------------------------------
+# child-process budget propagation
+# ----------------------------------------------------------------------
+
+@dataclass
+class ChildAllowance:
+    """A budget slice serializable across a process boundary.
+
+    Produced by :meth:`RunBudget.child_allowance` in the parent and
+    turned back into a fresh :class:`RunBudget` by :meth:`to_budget` in
+    the child (its deadline clock starts when the child constructs it).
+    Plain data, so it ships inside a pickled work-unit message.
+    """
+
+    deadline_seconds: Optional[float] = None
+    max_rss_kb: Optional[int] = None
+
+    def to_budget(self) -> Optional["RunBudget"]:
+        """A fresh child-side budget, or ``None`` when nothing is capped."""
+        if self.deadline_seconds is None and self.max_rss_kb is None:
+            return None
+        return RunBudget(
+            deadline_seconds=self.deadline_seconds,
+            max_rss_kb=self.max_rss_kb,
+        )
+
+
+def child_allowance(
+    budget: Optional["RunBudget"], deadline_cap: Optional[float] = None
+) -> ChildAllowance:
+    """:meth:`RunBudget.child_allowance` that tolerates ``budget=None``."""
+    if budget is None:
+        return ChildAllowance(deadline_seconds=deadline_cap, max_rss_kb=None)
+    return budget.child_allowance(deadline_cap)
+
+
+# ----------------------------------------------------------------------
 # the budget itself
 # ----------------------------------------------------------------------
 
@@ -321,6 +357,34 @@ class RunBudget:
                     f"max_rss_kb={self.max_rss_kb} (peak {rss})",
                     states=states, transitions=transitions, **progress,
                 )
+
+    # ------------------------------------------------------------------
+    # child-process propagation
+    # ------------------------------------------------------------------
+    def child_allowance(
+        self, deadline_cap: Optional[float] = None
+    ) -> "ChildAllowance":
+        """The budget slice to ship to a child process (or work shard).
+
+        The wall-clock allowance is what *remains* of this budget's
+        deadline, optionally capped by ``deadline_cap`` (a per-shard
+        deadline); the RSS cap is inherited as-is (children are separate
+        processes, so each gets the full cap).  State/transition caps
+        are not propagated -- only the parent sees global counts.
+        A negative remaining deadline is clamped to ``0.0`` so the child
+        exhausts immediately instead of running unbounded.
+        """
+        remaining = self.remaining_seconds()
+        if remaining is not None and remaining < 0:
+            remaining = 0.0
+        if deadline_cap is not None:
+            remaining = (
+                deadline_cap if remaining is None
+                else min(remaining, deadline_cap)
+            )
+        return ChildAllowance(
+            deadline_seconds=remaining, max_rss_kb=self.max_rss_kb
+        )
 
     # ------------------------------------------------------------------
     # SIGINT wiring

@@ -19,8 +19,10 @@ from ..core import (
     quotient_lts,
     trace_refines,
 )
-from ..lang import ClientConfig, ObjectProgram, SpecObject, explore, spec_lts
+from ..lang import ClientConfig, ObjectProgram, SpecObject, spec_lts
+from ..lang.checkpoint import Checkpoint, CheckpointSink
 from ..lang.client import Workload
+from ..parallel import maybe_parallel_explore
 from ..util.budget import BudgetExhausted, Exhaustion, RunBudget, verdict_of
 from ..util.metrics import Stats, stage
 
@@ -93,6 +95,10 @@ def check_linearizability(
     stats: Optional[Stats] = None,
     reduce: bool = True,
     budget: Optional[RunBudget] = None,
+    workers: int = 0,
+    fault_plan: Optional[Any] = None,
+    spec_checkpoint: Optional[CheckpointSink] = None,
+    spec_resume: Optional[Checkpoint] = None,
 ) -> LinearizabilityResult:
     """Run the full Theorem 5.3 pipeline for one object.
 
@@ -112,6 +118,12 @@ def check_linearizability(
     governed end to end: exhaustion in any phase yields a result with
     ``linearizable=None`` (verdict ``UNKNOWN``) carrying the exhaustion
     record -- it never raises.
+
+    ``workers >= 1`` shards the object-system exploration across that
+    many worker processes (:mod:`repro.parallel`); the result is
+    byte-identical to serial exploration.  ``spec_checkpoint`` /
+    ``spec_resume`` checkpoint the specification-LTS generation so an
+    interrupted ``lin`` run does not regenerate it from scratch.
     """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
@@ -125,11 +137,15 @@ def check_linearizability(
     spec_states = spec_quotient_states = 0
     t0 = t1 = t2 = t3 = time.perf_counter()
     try:
-        impl = explore(program, config, stats=stats, budget=budget)
+        impl = maybe_parallel_explore(
+            program, config, workers=workers, fault_plan=fault_plan,
+            stats=stats, budget=budget,
+        )
         impl_states = impl.num_states
         spec_system = spec_lts(
             spec, num_threads, ops_per_thread, workload, max_states=max_states,
             stats=stats, budget=budget,
+            checkpoint=spec_checkpoint, resume=spec_resume,
         )
         spec_states = spec_system.num_states
         t1 = time.perf_counter()

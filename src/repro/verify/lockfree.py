@@ -30,6 +30,7 @@ from ..core import (
 )
 from ..lang import ClientConfig, ObjectProgram, explore
 from ..lang.client import Workload
+from ..parallel import maybe_parallel_explore
 from ..util.budget import BudgetExhausted, Exhaustion, RunBudget, verdict_of
 from ..util.metrics import Stats, stage
 
@@ -76,6 +77,8 @@ def check_lock_freedom_auto(
     stats: Optional[Stats] = None,
     reduce: bool = True,
     budget: Optional[RunBudget] = None,
+    workers: int = 0,
+    fault_plan=None,
 ) -> LockFreedomResult:
     """Theorem 5.9: fully automatic lock-freedom check.
 
@@ -116,7 +119,10 @@ def check_lock_freedom_auto(
     impl_states = quotient_states = 0
     t0 = time.perf_counter()
     try:
-        impl = explore(program, config, stats=stats, budget=budget)
+        impl = maybe_parallel_explore(
+            program, config, workers=workers, fault_plan=fault_plan,
+            stats=stats, budget=budget,
+        )
         impl_states = impl.num_states
         with stage(stats, "quotient"):
             quotient = quotient_lts(

@@ -78,3 +78,19 @@ def test_explain_states_within_one_lts():
     assert explanation is not None
     assert explanation.levels[0].action in ("a", "b")
     assert explain_states(lts, 1, 3) is None  # both deadlocked
+
+
+def test_explain_inequivalence_honours_run_budget():
+    from repro.util.budget import BudgetExhausted, RunBudget
+
+    a = make_lts(2, 0, [(0, "x", 1)])
+    b = make_lts(2, 0, [(0, "y", 1)])
+    try:
+        explain_inequivalence(a, b, budget=RunBudget(deadline_seconds=0.0))
+    except BudgetExhausted as exc:
+        assert exc.reason == "deadline"
+        assert exc.phase == "diagnostics"
+    else:
+        raise AssertionError("expected BudgetExhausted")
+    # Without a budget the explanation is produced as before.
+    assert explain_inequivalence(a, b) is not None

@@ -1,15 +1,27 @@
 """Linearizable specification generator tests (Section II.C)."""
 
+import pytest
+
 from repro.core import TAU_ID, tau_cycle_states
+from repro.core.aut import dumps_aut
 from repro.lang import (
     EMPTY,
+    ClientConfig,
     SpecObject,
+    explore,
     queue_spec,
     register_spec,
     set_spec,
     spec_lts,
     stack_spec,
 )
+from repro.lang.checkpoint import (
+    CheckpointMismatch,
+    CheckpointSink,
+    load_checkpoint,
+    spec_fingerprint,
+)
+from repro.util.budget import BudgetExhausted, RunBudget
 
 
 def labels_of(lts):
@@ -99,3 +111,83 @@ def test_nondeterministic_spec_supported():
     labels = labels_of(lts)
     assert ("ret", 1, "flip", "heads") in labels
     assert ("ret", 1, "flip", "tails") in labels
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume of specification generation
+# ----------------------------------------------------------------------
+
+_WORKLOAD = [("enq", (1,)), ("deq", ())]
+
+
+def test_spec_checkpoint_resume_bit_identical(tmp_path):
+    full = spec_lts(queue_spec(), 2, 2, _WORKLOAD)
+    path = str(tmp_path / "spec.ckpt")
+    with pytest.raises(BudgetExhausted):
+        spec_lts(
+            queue_spec(), 2, 2, _WORKLOAD, max_states=40,
+            checkpoint=CheckpointSink(path, interval_seconds=0.0),
+        )
+    resumed = spec_lts(
+        queue_spec(), 2, 2, _WORKLOAD, resume=load_checkpoint(path)
+    )
+    assert dumps_aut(resumed.freeze()) == dumps_aut(full.freeze())
+
+
+def test_spec_checkpoint_resume_after_deadline(tmp_path):
+    full = spec_lts(queue_spec(), 2, 2, _WORKLOAD)
+    path = str(tmp_path / "deadline.ckpt")
+    with pytest.raises(BudgetExhausted) as exc:
+        spec_lts(
+            queue_spec(), 2, 2, _WORKLOAD,
+            budget=RunBudget(deadline_seconds=0.0),
+            checkpoint=CheckpointSink(path, interval_seconds=0.0),
+        )
+    assert exc.value.reason == "deadline"
+    assert exc.value.phase == "spec"
+    resumed = spec_lts(
+        queue_spec(), 2, 2, _WORKLOAD, resume=load_checkpoint(path)
+    )
+    assert dumps_aut(resumed.freeze()) == dumps_aut(full.freeze())
+
+
+def test_spec_fingerprint_rejects_config_drift(tmp_path):
+    path = str(tmp_path / "drift.ckpt")
+    with pytest.raises(BudgetExhausted):
+        spec_lts(
+            queue_spec(), 2, 2, _WORKLOAD, max_states=40,
+            checkpoint=CheckpointSink(path, interval_seconds=0.0),
+        )
+    with pytest.raises(CheckpointMismatch):
+        spec_lts(
+            queue_spec(), 2, 3, _WORKLOAD, resume=load_checkpoint(path)
+        )
+
+
+def test_spec_fingerprint_distinct_from_impl(tmp_path):
+    # A spec checkpoint must never resume an implementation exploration
+    # (and vice versa): the fingerprint carries a kind marker.
+    from repro.objects import get
+
+    bench = get("treiber")
+    program = bench.build(2)
+    config = ClientConfig(
+        num_threads=2, ops_per_thread=2,
+        workload=bench.default_workload(), max_states=200,
+    )
+    path = str(tmp_path / "impl.ckpt")
+    with pytest.raises(BudgetExhausted):
+        explore(program, config,
+                checkpoint=CheckpointSink(path, interval_seconds=0.0))
+    with pytest.raises(CheckpointMismatch):
+        spec_lts(queue_spec(), 2, 2, _WORKLOAD, resume=load_checkpoint(path))
+
+
+def test_spec_fingerprint_is_deterministic():
+    one = spec_fingerprint(queue_spec(), 2, 2, _WORKLOAD)
+    two = spec_fingerprint(queue_spec(), 2, 2, _WORKLOAD)
+    assert one == two
+    assert one["kind"] == "spec"
+    assert one != spec_fingerprint(queue_spec(), 3, 2, _WORKLOAD)
+    assert one != spec_fingerprint(stack_spec(), 2, 2,
+                                   [("push", (1,)), ("pop", ())])

@@ -1,5 +1,6 @@
 """LTL model checking tests: Büchi construction + nested DFS + progress."""
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.core import make_lts
@@ -194,3 +195,27 @@ def test_lock_freedom_formula_rendering():
     from repro.ltl.progress import lock_freedom_formula
     text = render(lock_freedom_formula())
     assert "ret" in text and "deadlock" in text
+
+
+def test_check_ltl_honours_run_budget():
+    from repro.util.budget import BudgetExhausted, RunBudget
+
+    lts = make_lts(2, 0, [(0, "a", 1), (1, "b", 0)])
+    with pytest.raises(BudgetExhausted) as exc:
+        check_ltl(lts, Globally(Finally(a)),
+                  budget=RunBudget(deadline_seconds=0.0))
+    assert exc.value.reason == "deadline"
+    assert exc.value.phase == "ltl"
+    # Without a budget the same check completes.
+    assert check_ltl(lts, Globally(Finally(a))).holds
+
+
+def test_check_lock_freedom_ltl_honours_run_budget():
+    from repro.util.budget import BudgetExhausted, RunBudget
+
+    lts = make_lts(2, 0, [
+        (0, ("call", 1, "m", ()), 1), (1, ("ret", 1, "m", 0), 0),
+    ])
+    with pytest.raises(BudgetExhausted):
+        check_lock_freedom_ltl(lts, budget=RunBudget(deadline_seconds=0.0))
+    assert check_lock_freedom_ltl(lts).holds

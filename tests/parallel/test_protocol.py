@@ -1,0 +1,87 @@
+"""Frame protocol: round trips, corruption rejection, incremental decode."""
+
+import io
+import struct
+
+import pytest
+
+from repro.parallel.protocol import (
+    MAGIC,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+
+
+MESSAGES = [
+    ("shard", 0, [((1, 2), (3,))], None),
+    ("progress", 1, 7, 42),
+    ("result", 2, 9, [(("k",), [("l", ("d",), None)])], 1234),
+    ("stop",),
+]
+
+
+def test_blocking_round_trip():
+    buffer = io.BytesIO()
+    for message in MESSAGES:
+        write_frame(buffer, message)
+    buffer.seek(0)
+    for message in MESSAGES:
+        assert read_frame(buffer) == message
+    assert read_frame(buffer) is None  # clean EOF at a frame boundary
+
+
+def test_eof_inside_frame_is_an_error():
+    data = encode_frame(("result", 1, 2, [], 0))
+    stream = io.BytesIO(data[:-3])
+    with pytest.raises(ProtocolError):
+        read_frame(stream)
+
+
+def test_corrupt_payload_rejected_by_checksum():
+    stream = io.BytesIO(encode_frame(("result", 1, 2, [], 0), corrupt=True))
+    with pytest.raises(ProtocolError, match="checksum"):
+        read_frame(stream)
+
+
+def test_bad_magic_rejected():
+    data = b"XXXX" + encode_frame(("stop",))[4:]
+    with pytest.raises(ProtocolError, match="magic"):
+        read_frame(io.BytesIO(data))
+
+
+def test_absurd_length_rejected_without_allocation():
+    header = struct.Struct("!4sII").pack(MAGIC, (1 << 30) + 1, 0)
+    with pytest.raises(ProtocolError, match="claims"):
+        read_frame(io.BytesIO(header))
+
+
+def test_decoder_reassembles_byte_by_byte():
+    data = b"".join(encode_frame(m) for m in MESSAGES)
+    decoder = FrameDecoder()
+    received = []
+    for i in range(len(data)):
+        received.extend(decoder.feed(data[i:i + 1]))
+    assert received == MESSAGES
+    assert decoder.pending_bytes == 0
+
+
+def test_decoder_handles_arbitrary_chunking():
+    data = b"".join(encode_frame(m) for m in MESSAGES)
+    for chunk in (3, 7, 16, 1024):
+        decoder = FrameDecoder()
+        received = []
+        for lo in range(0, len(data), chunk):
+            received.extend(decoder.feed(data[lo:lo + chunk]))
+        assert received == MESSAGES
+
+
+def test_decoder_corruption_is_detected_mid_stream():
+    good = encode_frame(("progress", 0, 0, 1))
+    bad = encode_frame(("result", 0, 0, [], 0), corrupt=True)
+    decoder = FrameDecoder()
+    assert decoder.feed(good) == [("progress", 0, 0, 1)]
+    with pytest.raises(ProtocolError):
+        decoder.feed(bad)

@@ -213,7 +213,7 @@ def test_lin_stats_flushed_on_unknown(tmp_path, capsys):
     assert code == 2
     payload = json.loads(open(path).read())
     assert payload["command"] == "lin"
-    assert "linearizability ops=2" in payload["pipelines"]
+    assert "linearizability t=2 ops=2 v=2" in payload["pipelines"]
 
 
 def test_explore_checkpoint_resume_bit_identical(tmp_path, capsys):
@@ -229,6 +229,93 @@ def test_explore_checkpoint_resume_bit_identical(tmp_path, capsys):
     assert main(["explore", "treiber", "--out", resumed,
                  "--resume", ckpt]) == 0
     assert open(full).read() == open(resumed).read()
+
+
+def test_explore_workers_matches_serial(tmp_path, capsys):
+    serial = str(tmp_path / "serial.aut")
+    sharded = str(tmp_path / "sharded.aut")
+    assert main(["explore", "treiber", "--out", serial]) == 0
+    assert main(["explore", "treiber", "--out", sharded,
+                 "--workers", "2", "--shard-states", "16"]) == 0
+    assert open(serial).read() == open(sharded).read()
+
+
+def test_explore_workers_survives_injected_kill(tmp_path, capsys):
+    serial = str(tmp_path / "serial.aut")
+    faulted = str(tmp_path / "faulted.aut")
+    assert main(["explore", "treiber", "--out", serial]) == 0
+    assert main(["explore", "treiber", "--out", faulted,
+                 "--workers", "2", "--fault-plan", "kill:0@10",
+                 "--shard-states", "16"]) == 0
+    assert open(serial).read() == open(faulted).read()
+
+
+def test_explore_workers_hang_checkpoints_and_resumes(tmp_path, capsys):
+    # A stalled worker under a global deadline: the run must exit 2 with
+    # a salvaged checkpoint from which a serial resume completes.
+    serial = str(tmp_path / "serial.aut")
+    resumed = str(tmp_path / "resumed.aut")
+    ckpt = str(tmp_path / "hang.ckpt")
+    assert main(["explore", "treiber", "--out", serial]) == 0
+    code = main(["explore", "treiber", "--out", resumed,
+                 "--workers", "2", "--fault-plan", "stall:0@5",
+                 "--shard-states", "16", "--deadline", "2",
+                 "--checkpoint", ckpt])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "UNKNOWN" in out and "deadline" in out
+    assert "checkpoint left at" in out
+    assert main(["explore", "treiber", "--out", resumed,
+                 "--resume", ckpt]) == 0
+    assert open(serial).read() == open(resumed).read()
+
+
+def test_lin_with_workers_and_fault(capsys):
+    code = main(["lin", "newcas", "--threads", "2", "--ops", "1",
+                 "--workers", "2", "--fault-plan", "exit:0@5"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "linearizable: TRUE" in out
+
+
+def test_lockfree_with_workers(capsys):
+    code = main(["lockfree", "newcas", "--ops", "1", "--workers", "2"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "lock-free: TRUE" in out
+
+
+def test_degrade_descends_the_workload_lattice(capsys):
+    code = main(["lin", "ms_queue", "--deadline", "0", "--degrade",
+                 "--degrade-steps", "2"])
+    out = capsys.readouterr().out
+    assert code == 2
+    # ops shrinks before values before threads, one rung per retry.
+    assert "--threads 2 --ops 1 --values 2" in out
+    assert "--threads 2 --ops 1 --values 1" in out
+    assert out.count("degrade: retrying") == 2
+
+
+def test_degrade_steps_bounds_the_descent(capsys):
+    code = main(["lin", "ms_queue", "--deadline", "0", "--degrade",
+                 "--degrade-steps", "1"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert out.count("degrade: retrying") == 1
+
+
+def test_lin_spec_checkpoint_then_resume(tmp_path, capsys):
+    ckpt = str(tmp_path / "spec.ckpt")
+    assert main(["lin", "newcas", "--threads", "2", "--ops", "1",
+                 "--spec-checkpoint", ckpt]) == 0
+    capsys.readouterr()
+    import os
+    assert os.path.exists(ckpt)
+    code = main(["lin", "newcas", "--threads", "2", "--ops", "1",
+                 "--spec-resume", ckpt])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "linearizable: TRUE" in out
 
 
 def test_keyboard_interrupt_in_handler_exits_130(capsys, monkeypatch):
