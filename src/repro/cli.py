@@ -318,6 +318,14 @@ def cmd_lin(args) -> int:
     )
 
     def attempt(threads: int, ops: int, values: int, force_reduce: bool):
+        # Spec checkpoints are fingerprinted against the workload, and a
+        # degraded rung shrinks (threads, ops, values) -- resuming from
+        # (or overwriting) the original-config checkpoint there would be
+        # a CheckpointMismatch, so only the original configuration uses
+        # the spec checkpoint/resume files.
+        original = (threads, ops, values) == (
+            args.threads, args.ops, args.values
+        )
         return check_linearizability(
             bench.build(threads), bench.spec(),
             num_threads=threads, ops_per_thread=ops,
@@ -327,7 +335,9 @@ def cmd_lin(args) -> int:
             reduce=force_reduce or not args.no_reduce,
             budget=budget,
             workers=args.workers, fault_plan=args.fault_plan,
-            spec_checkpoint=spec_sink, spec_resume=spec_resume,
+            shard_states=args.shard_states,
+            spec_checkpoint=spec_sink if original else None,
+            spec_resume=spec_resume if original else None,
         )
 
     with budget.install_sigint():
@@ -398,6 +408,7 @@ def cmd_lockfree(args) -> int:
             reduce=force_reduce or not args.no_reduce,
             budget=budget,
             workers=args.workers, fault_plan=args.fault_plan,
+            shard_states=args.shard_states,
         )
 
     def printer(result, label: str = "lock-free") -> None:

@@ -145,10 +145,12 @@ class FaultPlan:
         A crash caused by an injected fault must not re-arm in the
         respawned replacement (which forks from the supervisor and would
         otherwise inherit a fresh unfired copy, killing workers forever).
-        The supervisor cannot see *which* fault fired in the child, so it
-        retires every fault addressed to that worker that a dead worker
-        could plausibly have reached; wildcard faults are retired on the
-        first death after arming.
+        The supervisor cannot see *which* fault fired in the child, so
+        it retires exactly **one** fault per death: the first unfired
+        fault addressed to that worker (or any wildcard), mirroring the
+        worker-side rule that each shard death fires a single fault.
+        With several faults aimed at the same index, each death retires
+        the next one in plan order.
         """
         for fault in self.faults:
             if not fault.fired and (fault.worker is None or fault.worker == worker_index):

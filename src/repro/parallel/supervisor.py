@@ -98,7 +98,15 @@ class ParallelConfig:
     #: Frontier keys per shard message.
     shard_states: int = 128
     #: Seconds without any frame from a busy worker before it is
-    #: declared hung, killed, and its shard requeued.
+    #: declared hung, killed, and its shard requeued.  Workers heartbeat
+    #: *between* state expansions, so this must exceed the slowest
+    #: single ``expand()`` call -- a state that legitimately takes
+    #: longer is indistinguishable from a stall by silence alone and
+    #: would be killed (and requeued, and killed again) on every retry
+    #: until the pool degrades to serial.  When ``shard_deadline`` is
+    #: set the effective hang deadline stretches to cover it (see
+    #: :meth:`Supervisor._check_hangs`), since the child then reports
+    #: exhaustion on its own.
     heartbeat_timeout: float = 10.0
     #: Optional per-shard wall-clock cap; combined with the remaining
     #: global deadline into the :class:`ChildAllowance` shipped with the
@@ -396,7 +404,17 @@ class Supervisor:
                     self._handle_frame(worker, frame)
 
     def _check_hangs(self) -> None:
+        # Heartbeats come between state expansions, so silence may mean
+        # one slow state rather than a stall.  With a shard deadline the
+        # child cuts itself off and reports exhaustion cleanly, so give
+        # it that long -- plus one heartbeat of grace for the frame to
+        # arrive -- before shooting it.
         deadline = self.parallel.heartbeat_timeout
+        if self.parallel.shard_deadline is not None:
+            deadline = max(
+                deadline,
+                self.parallel.shard_deadline + self.parallel.heartbeat_timeout,
+            )
         now = time.monotonic()
         for worker in list(self.workers.values()):
             if worker.shard is not None and now - worker.last_frame > deadline:
@@ -539,6 +557,16 @@ class Supervisor:
 
     def _drain_serial(self) -> None:
         """Finish all queued shards in-process (fully degraded mode)."""
+        # A still-busy worker's in-flight shard must be requeued before
+        # the pool is torn down (_reap only dismantles the process), or
+        # its keys would never be expanded and the final replay could
+        # not cover the reachable closure.  Degrading to target == 0
+        # while another worker is mid-shard is exactly the recovery
+        # path where this matters.
+        for worker in self.workers.values():
+            if worker.shard is not None:
+                self.pending.append(worker.shard)
+                worker.shard = None
         self._shutdown()
         while self.backoff:
             _ready, shard_id, keys = heapq.heappop(self.backoff)

@@ -44,6 +44,10 @@ from .protocol import (
 )
 
 #: Send a progress heartbeat at most this often while inside a shard.
+#: Heartbeats are emitted *between* state expansions (there is no timer
+#: thread or SIGALRM in the child), so a single ``expand()`` call longer
+#: than the supervisor's ``heartbeat_timeout`` looks like a stall; see
+#: ``ParallelConfig.heartbeat_timeout`` for the supervisor-side slack.
 HEARTBEAT_SECONDS = 0.25
 
 

@@ -97,6 +97,7 @@ def check_linearizability(
     budget: Optional[RunBudget] = None,
     workers: int = 0,
     fault_plan: Optional[Any] = None,
+    shard_states: Optional[int] = None,
     spec_checkpoint: Optional[CheckpointSink] = None,
     spec_resume: Optional[Checkpoint] = None,
 ) -> LinearizabilityResult:
@@ -139,7 +140,7 @@ def check_linearizability(
     try:
         impl = maybe_parallel_explore(
             program, config, workers=workers, fault_plan=fault_plan,
-            stats=stats, budget=budget,
+            shard_states=shard_states, stats=stats, budget=budget,
         )
         impl_states = impl.num_states
         spec_system = spec_lts(

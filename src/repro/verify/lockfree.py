@@ -79,6 +79,7 @@ def check_lock_freedom_auto(
     budget: Optional[RunBudget] = None,
     workers: int = 0,
     fault_plan=None,
+    shard_states: Optional[int] = None,
 ) -> LockFreedomResult:
     """Theorem 5.9: fully automatic lock-freedom check.
 
@@ -121,7 +122,7 @@ def check_lock_freedom_auto(
     try:
         impl = maybe_parallel_explore(
             program, config, workers=workers, fault_plan=fault_plan,
-            stats=stats, budget=budget,
+            shard_states=shard_states, stats=stats, budget=budget,
         )
         impl_states = impl.num_states
         with stage(stats, "quotient"):

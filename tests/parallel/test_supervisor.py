@@ -8,6 +8,9 @@ checkpoint from which both serial and parallel resumption reproduce the
 uninterrupted result exactly.
 """
 
+import os
+import time
+
 import pytest
 from hypothesis import given, settings
 
@@ -21,6 +24,7 @@ from repro.parallel import (
     maybe_parallel_explore,
     parallel_explore,
 )
+from repro.parallel.supervisor import Supervisor, _Worker
 from repro.testing.generators import ProgramShape, program_strategy
 from repro.util.budget import BudgetExhausted, RunBudget
 from repro.util.metrics import Stats
@@ -137,6 +141,54 @@ def test_repeated_kills_degrade_to_in_process_fallback():
     lts = parallel_explore(program, config, parallel, stats=stats)
     assert dumps_aut(lts) == serial
     assert stats.counters["explore.degraded_workers"] >= 1
+
+
+def _fake_busy_worker(supervisor, index=0):
+    """A _Worker whose process is a dead stand-in child, mid-shard."""
+    pid = os.fork()
+    if pid == 0:
+        os._exit(0)
+    res_r, cmd_w = os.pipe()
+    worker = _Worker(index=index, pid=pid, cmd=os.fdopen(cmd_w, "wb"),
+                     res_fd=res_r)
+    supervisor.workers[index] = worker
+    return worker
+
+
+def test_drain_serial_requeues_in_flight_shards():
+    # Degrading to target == 0 while another worker is still mid-shard
+    # must requeue that shard before the pool is torn down; dropping it
+    # leaves the expansion table short of the reachable closure and the
+    # final replay asserts.
+    program, config = _bench_config("treiber")
+    supervisor = Supervisor(program, config, _parallel())
+    worker = _fake_busy_worker(supervisor)
+    worker.shard = (0, [supervisor.init_key])
+    supervisor.target = 0
+    supervisor._drain_serial()
+    assert not supervisor.workers
+    assert not supervisor.pending
+    assert supervisor.init_key in supervisor.expansions
+
+
+def test_shard_deadline_stretches_hang_detection():
+    # Heartbeats only flow between state expansions, so with a shard
+    # deadline configured the supervisor waits for the child's own clean
+    # exhaustion (deadline + one heartbeat of grace) before shooting it.
+    program, config = _bench_config("treiber")
+    parallel = _parallel(heartbeat_timeout=1.0, shard_deadline=5.0)
+    supervisor = Supervisor(program, config, parallel)
+    worker = _fake_busy_worker(supervisor)
+    worker.shard = (0, [supervisor.init_key])
+
+    worker.last_frame = time.monotonic() - 3.0  # silent, but within slack
+    supervisor._check_hangs()
+    assert 0 in supervisor.workers
+
+    worker.last_frame = time.monotonic() - 7.0  # past deadline + grace
+    supervisor._check_hangs()
+    assert 0 not in supervisor.workers
+    assert supervisor.backoff  # the shard was requeued, not lost
 
 
 # ----------------------------------------------------------------------

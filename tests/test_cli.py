@@ -318,6 +318,26 @@ def test_lin_spec_checkpoint_then_resume(tmp_path, capsys):
     assert "linearizable: TRUE" in out
 
 
+def test_lin_degrade_rung_skips_stale_spec_resume(tmp_path, capsys):
+    # A degrade rung shrinks (threads, ops, values), so the original
+    # config's spec checkpoint no longer matches there; the rung must
+    # regenerate the spec from scratch instead of crashing on a
+    # CheckpointMismatch.
+    ckpt = str(tmp_path / "spec.ckpt")
+    assert main(["lin", "newcas", "--threads", "2", "--ops", "2",
+                 "--spec-checkpoint", ckpt]) == 0
+    capsys.readouterr()
+    # --max-states exhausts the original config (impl ~1000 states) but
+    # not the first degrade rung (ops 1, impl ~140 states).
+    code = main(["lin", "newcas", "--threads", "2", "--ops", "2",
+                 "--max-states", "600", "--degrade",
+                 "--spec-resume", ckpt])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "degrade: retrying" in out
+    assert "degraded verdict: TRUE" in out
+
+
 def test_keyboard_interrupt_in_handler_exits_130(capsys, monkeypatch):
     from repro import cli
 
