@@ -26,10 +26,15 @@ from repro.util.metrics import Stats  # noqa: E402
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 OUT_DIR = pathlib.Path(__file__).parent / "out"
-PIPELINE_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+PIPELINE_JSON = _REPO_ROOT / "BENCH_pipeline.json"
+REFINEMENT_JSON = _REPO_ROOT / "BENCH_refinement.json"
 
 #: Named per-bench metric sinks, aggregated at session end.
 _PIPELINE_SINKS = {}
+
+#: Per-case engine-comparison records, aggregated at session end.
+_REFINEMENT_RESULTS = {}
 
 
 @pytest.fixture(scope="session")
@@ -68,18 +73,47 @@ def pipeline_stats():
     return sink
 
 
-def pytest_sessionfinish(session, exitstatus):
-    if not _PIPELINE_SINKS:
-        return
-    payload = {"schema": "repro.bench-pipeline/v1", "scale": SCALE, "benches": {}}
-    if PIPELINE_JSON.exists():
+@pytest.fixture(scope="session")
+def refinement_results():
+    """Recorder for sweep-vs-splitter engine comparison records.
+
+    ``refinement_results("hm_list 2x2 branching", {...})`` stores one
+    JSON-serialisable record per case.  At session end the records are
+    merged into ``BENCH_refinement.json`` at the repo root (existing
+    cases from earlier runs are kept unless re-recorded).
+    """
+
+    def record(name: str, payload: dict) -> None:
+        _REFINEMENT_RESULTS[name] = payload
+
+    return record
+
+
+def _merge_json(path, schema, key, fresh):
+    payload = {"schema": schema, "scale": SCALE, key: {}}
+    if path.exists():
         try:
-            previous = json.loads(PIPELINE_JSON.read_text())
+            previous = json.loads(path.read_text())
         except (OSError, ValueError):
             previous = {}
-        if previous.get("schema") == payload["schema"]:
-            payload["benches"].update(previous.get("benches", {}))
-    payload["benches"].update(
-        {name: sink.to_dict() for name, sink in sorted(_PIPELINE_SINKS.items())}
-    )
-    PIPELINE_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+        if previous.get("schema") == schema:
+            payload[key].update(previous.get(key, {}))
+    payload[key].update(fresh)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if _PIPELINE_SINKS:
+        _merge_json(
+            PIPELINE_JSON,
+            "repro.bench-pipeline/v1",
+            "benches",
+            {name: sink.to_dict() for name, sink in sorted(_PIPELINE_SINKS.items())},
+        )
+    if _REFINEMENT_RESULTS:
+        _merge_json(
+            REFINEMENT_JSON,
+            "repro.bench-refinement/v1",
+            "cases",
+            dict(sorted(_REFINEMENT_RESULTS.items())),
+        )

@@ -1,0 +1,105 @@
+"""Bench smoke: the splitter-queue engine must beat the signature sweeps.
+
+Explores the two largest small-scale Table II/III systems once each,
+then times the *refinement stage only* (via the ``Stats`` stage clock)
+of branching and divergence-sensitive branching partitioning under both
+engines in the same process.  A warm-up pass absorbs allocator and
+import-cache effects; each engine then gets several timed repetitions
+and the fastest repetition is compared, so the gate is self-relative
+and independent of CI machine speed.
+
+Gates: the splitter partition must equal the sweep partition, and on
+the hm_list 2x2 system -- the workhorse case -- the splitter must be at
+least 1.5x faster.  The smaller ms_queue case only gates "no slower"
+(with a noise allowance), since small instances jitter.
+
+Per-case timings land in ``BENCH_refinement.json`` at the repo root.
+"""
+
+import pytest
+
+from repro.core import branching_partition, same_partition
+from repro.lang import ClientConfig, explore
+from repro.objects import get
+from repro.util.metrics import Stats
+
+#: (bench key, threads, ops, minimum required splitter speedup).
+CASES = [
+    ("ms_queue", 2, 2, 0.9),
+    ("hm_list", 2, 2, 1.5),
+]
+
+REPS = 3
+
+
+def _refinement_seconds(impl, divergence, engine):
+    """Partition ``impl`` and report (refinement-stage seconds, partition)."""
+    stats = Stats()
+    block_of = branching_partition(
+        impl, divergence=divergence, stats=stats, engine=engine
+    )
+    return stats.stage_seconds["refinement"], block_of
+
+
+@pytest.mark.parametrize(
+    "key,threads,ops,min_speedup",
+    CASES,
+    ids=[f"{k}_{t}x{o}" for k, t, o, _ in CASES],
+)
+def test_splitter_beats_sweep_on_refinement(
+    key, threads, ops, min_speedup, refinement_results, bench_out
+):
+    bench = get(key)
+    config = ClientConfig(
+        num_threads=threads, ops_per_thread=ops,
+        workload=bench.default_workload(),
+    )
+    impl = explore(bench.build(threads), config)
+
+    lines = []
+    for divergence in (False, True):
+        variant = "branching-div" if divergence else "branching"
+        # Warm-up: one untimed pass per engine.
+        _refinement_seconds(impl, divergence, "sweep")
+        _refinement_seconds(impl, divergence, "splitter")
+        sweep_reps, splitter_reps = [], []
+        sweep_blocks = splitter_blocks = None
+        for _ in range(REPS):
+            seconds, sweep_blocks = _refinement_seconds(impl, divergence, "sweep")
+            sweep_reps.append(seconds)
+            seconds, splitter_blocks = _refinement_seconds(
+                impl, divergence, "splitter"
+            )
+            splitter_reps.append(seconds)
+        assert same_partition(sweep_blocks, splitter_blocks), (
+            f"{key} {variant}: engines disagree"
+        )
+        sweep_s, splitter_s = min(sweep_reps), min(splitter_reps)
+        speedup = sweep_s / splitter_s if splitter_s else float("inf")
+        refinement_results(
+            f"{key} {threads}x{ops} {variant}",
+            {
+                "states": impl.num_states,
+                "transitions": impl.num_transitions,
+                "sweep_s": round(sweep_s, 6),
+                "splitter_s": round(splitter_s, 6),
+                "speedup": round(speedup, 3),
+                "sweep_reps_s": [round(s, 6) for s in sweep_reps],
+                "splitter_reps_s": [round(s, 6) for s in splitter_reps],
+            },
+        )
+        lines.append(
+            f"{variant}: sweep={sweep_s:.3f}s splitter={splitter_s:.3f}s "
+            f"speedup={speedup:.2f}x"
+        )
+        # Self-relative gate: same machine, same run, same inputs.
+        assert speedup >= min_speedup, (
+            f"{key} {threads}x{ops} {variant}: splitter speedup "
+            f"{speedup:.2f}x below the {min_speedup:.1f}x gate "
+            f"(sweep={sweep_s:.3f}s splitter={splitter_s:.3f}s)"
+        )
+    bench_out(
+        f"refinement_smoke_{key}_{threads}x{ops}",
+        f"refinement smoke {key} {threads}x{ops}: |D|={impl.num_states}\n  "
+        + "\n  ".join(lines),
+    )

@@ -24,7 +24,10 @@ TRUE/FALSE/UNKNOWN and 130 after a SIGINT -- partial ``--stats`` /
 supports ``--checkpoint PATH`` / ``--resume PATH``, and ``explore`` /
 ``lin`` / ``lockfree`` accept ``--workers N`` to shard exploration
 across worker processes with crash recovery (byte-identical output;
-``--fault-plan`` injects failures on purpose).
+``--fault-plan`` injects failures on purpose).  ``verify`` / ``lin`` /
+``lockfree`` / ``quotient`` / ``compare`` accept
+``--engine {splitter,sweep}`` to select the refinement engine (the
+splitter queue is the default; the signature sweep is the oracle).
 See docs/ROBUSTNESS.md.
 
 Examples::
@@ -47,6 +50,7 @@ import sys
 from typing import Dict, List, Optional
 
 from .core import (
+    ENGINES,
     branching_partition,
     compare_branching,
     compare_strong,
@@ -88,6 +92,13 @@ def _add_bounds(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--values", type=int, default=2,
                         help="size of the data-value domain in the workload")
     parser.add_argument("--max-states", type=int, default=None)
+
+
+def _add_engine(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=ENGINES, default=None,
+                        help="refinement engine: 'splitter' (default) is the "
+                             "splitter-queue core, 'sweep' the signature-"
+                             "sweep oracle; both compute identical partitions")
 
 
 def _add_stats(parser: argparse.ArgumentParser) -> None:
@@ -231,6 +242,7 @@ def cmd_verify(args) -> int:
             num_threads=args.threads, ops_per_thread=args.ops,
             workload=workload, max_states=args.max_states,
             stats=sink("linearizability"), reduce=reduce, budget=budget,
+            engine=args.engine,
         )
         if lin.exhaustion is not None:
             _report_exhaustion("linearizable", lin)
@@ -253,6 +265,7 @@ def cmd_verify(args) -> int:
             num_threads=args.threads, ops_per_thread=args.ops,
             workload=workload, max_states=args.max_states,
             stats=sink("lock-freedom"), reduce=reduce, budget=budget,
+            engine=args.engine,
         )
         if lock.exhaustion is not None:
             _report_exhaustion("lock-free", lock)
@@ -338,6 +351,7 @@ def cmd_lin(args) -> int:
             shard_states=args.shard_states,
             spec_checkpoint=spec_sink if original else None,
             spec_resume=spec_resume if original else None,
+            engine=args.engine,
         )
 
     with budget.install_sigint():
@@ -409,6 +423,7 @@ def cmd_lockfree(args) -> int:
             budget=budget,
             workers=args.workers, fault_plan=args.fault_plan,
             shard_states=args.shard_states,
+            engine=args.engine,
         )
 
     def printer(result, label: str = "lock-free") -> None:
@@ -479,7 +494,7 @@ def cmd_quotient(args) -> int:
                     system,
                     branching_partition(
                         system, stats=stats, reduce=not args.no_reduce,
-                        budget=budget,
+                        budget=budget, engine=args.engine,
                     ),
                 )
         except BudgetExhausted as exc:
@@ -550,10 +565,12 @@ def _compare_governed(args, left, right, stats, budget) -> int:
     if args.relation == "branching":
         outcome = compare(
             left, right, divergence=args.divergence, stats=stats,
-            reduce=args.reduce, budget=budget,
+            reduce=args.reduce, budget=budget, engine=args.engine,
         )
     else:
-        outcome = compare(left, right, stats=stats, budget=budget)
+        outcome = compare(
+            left, right, stats=stats, budget=budget, engine=args.engine
+        )
     name = args.relation + ("-divergence" if args.divergence else "")
     print(f"{name} bisimilar: {outcome.equivalent}")
     if not outcome.equivalent and args.relation == "branching":
@@ -615,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_stats(verify)
     verify.add_argument("--no-reduce", action="store_true",
                         help="disable the silent-structure reduction pass")
+    _add_engine(verify)
     _add_budget(verify)
 
     for name, help_text in (
@@ -629,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
         _add_parallel(sub)
         sub.add_argument("--no-reduce", action="store_true",
                          help="disable the silent-structure reduction pass")
+        _add_engine(sub)
         if name == "lockfree":
             sub.add_argument(
                 "--method", choices=["union", "tau-cycle"], default="union",
@@ -655,6 +674,7 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "quotient":
             sub.add_argument("--no-reduce", action="store_true",
                              help="disable the silent-structure reduction pass")
+            _add_engine(sub)
         else:
             _add_parallel(sub)
             sub.add_argument("--checkpoint", metavar="PATH", default=None,
@@ -676,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--reduce", action="store_true",
                          help="compress silent structure before a "
                               "branching comparison")
+    _add_engine(compare)
     _add_stats(compare)
     _add_budget(compare)
 

@@ -34,6 +34,14 @@ from .partition import (
     same_partition,
 )
 from .reduce import ReducedLTS, lift_partition, reduce_lts
+from .splitter import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    branching_splitter,
+    resolve_engine,
+    strong_splitter,
+    weak_splitter,
+)
 from .branching import (
     Comparison,
     DIVERGENCE_MARK,
@@ -96,6 +104,12 @@ __all__ = [
     "refine_to_fixpoint",
     "refine_with_status",
     "same_partition",
+    "DEFAULT_ENGINE",
+    "ENGINES",
+    "branching_splitter",
+    "resolve_engine",
+    "strong_splitter",
+    "weak_splitter",
     "Comparison",
     "DIVERGENCE_MARK",
     "branching_partition",

@@ -52,6 +52,7 @@ from .partition import (
     num_blocks,
     refine_to_fixpoint,
 )
+from .splitter import branching_splitter, resolve_engine
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..util.budget import RunBudget
@@ -167,33 +168,31 @@ def _branching_signatures_ordered(lts: AnyLTS, block_of: BlockMap, divergence: b
     return [frozen[comp_of[state]] for state in range(n)]
 
 
-def branching_partition(
-    lts: AnyLTS,
-    divergence: bool = False,
-    initial: Optional[BlockMap] = None,
-    stats: Optional["Stats"] = None,
-    reduce: bool = False,
-    budget: Optional["RunBudget"] = None,
+def _refine(
+    frozen: FrozenLTS,
+    divergence: bool,
+    initial: Optional[BlockMap],
+    stats: Optional["Stats"],
+    budget: Optional["RunBudget"],
+    engine: Optional[str],
 ) -> BlockMap:
-    """Partition of the states of ``lts`` under branching bisimilarity.
+    """Run the selected refinement engine inside the refinement stage.
 
-    With ``divergence=True`` the partition is that of divergence-
-    sensitive branching bisimilarity (Definition 5.5).  With
-    ``reduce=True`` (and no seed partition) the system is first
-    compressed by :func:`repro.core.reduce.reduce_lts` and the
-    partition of the compressed system is lifted back.  An optional
-    :class:`~repro.util.metrics.Stats` sink times the stages and counts
-    sweeps/splits; without one the code path is unchanged.
+    Deliberately does *not* record the ``blocks`` counter:
+    :func:`branching_partition` derives it from the partition it
+    actually returns, so the ``reduce=True`` path reports the lifted
+    block count rather than the inner compressed run's.
     """
-    frozen = ensure_frozen(lts)
-    if reduce and initial is None and frozen.num_states:
-        reduced = reduce_mod.reduce_lts(
-            frozen, divergence=divergence, stats=stats, budget=budget
-        )
-        inner = branching_partition(
-            reduced.lts, divergence=divergence, stats=stats, budget=budget
-        )
-        return normalize(reduce_mod.lift_partition(reduced, inner))
+    if resolve_engine(engine) == "splitter":
+        if stats is None:
+            return branching_splitter(
+                frozen, divergence=divergence, initial=initial, budget=budget
+            )
+        with stats.stage("refinement"):
+            return branching_splitter(
+                frozen, divergence=divergence, initial=initial,
+                budget=budget, stats=stats,
+            )
 
     interner = SignatureInterner()
 
@@ -205,11 +204,52 @@ def branching_partition(
             frozen.num_states, signature_fn, initial=initial, budget=budget
         )
     with stats.stage("refinement"):
-        block_of = refine_to_fixpoint(
+        return refine_to_fixpoint(
             frozen.num_states, signature_fn, initial=initial, stats=stats,
             budget=budget,
         )
-        stats.count("blocks", num_blocks(block_of))
+
+
+def branching_partition(
+    lts: AnyLTS,
+    divergence: bool = False,
+    initial: Optional[BlockMap] = None,
+    stats: Optional["Stats"] = None,
+    reduce: bool = False,
+    budget: Optional["RunBudget"] = None,
+    engine: Optional[str] = None,
+) -> BlockMap:
+    """Partition of the states of ``lts`` under branching bisimilarity.
+
+    With ``divergence=True`` the partition is that of divergence-
+    sensitive branching bisimilarity (Definition 5.5).  With
+    ``reduce=True`` (and no seed partition) the system is first
+    compressed by :func:`repro.core.reduce.reduce_lts` and the
+    partition of the compressed system is lifted back.  ``engine``
+    selects the refinement engine (:data:`repro.core.splitter.ENGINES`;
+    ``None`` means the default).  An optional
+    :class:`~repro.util.metrics.Stats` sink times the stages and counts
+    sweeps/splits; without one the code path is unchanged.  The
+    ``blocks`` counter always reflects the partition returned to the
+    caller -- under ``reduce=True`` that is the lifted partition of the
+    original state space, not the compressed inner run.
+    """
+    frozen = ensure_frozen(lts)
+    if reduce and initial is None and frozen.num_states:
+        reduced = reduce_mod.reduce_lts(
+            frozen, divergence=divergence, stats=stats, budget=budget
+        )
+        inner = _refine(
+            ensure_frozen(reduced.lts), divergence, None, stats, budget, engine
+        )
+        block_of = normalize(reduce_mod.lift_partition(reduced, inner))
+    else:
+        block_of = normalize(
+            _refine(frozen, divergence, initial, stats, budget, engine)
+        )
+    if stats is not None:
+        with stats.stage("refinement"):
+            stats.count("blocks", num_blocks(block_of))
     return block_of
 
 
@@ -243,6 +283,7 @@ def compare_branching(
     stats: Optional["Stats"] = None,
     reduce: bool = False,
     budget: Optional["RunBudget"] = None,
+    engine: Optional[str] = None,
 ) -> Comparison:
     """Decide ``a ~ b`` for (divergence-sensitive) branching bisimilarity.
 
@@ -251,7 +292,8 @@ def compare_branching(
     """
     union, init_a, init_b = disjoint_union(a, b)
     block_of = branching_partition(
-        union, divergence=divergence, stats=stats, reduce=reduce, budget=budget
+        union, divergence=divergence, stats=stats, reduce=reduce,
+        budget=budget, engine=engine,
     )
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],

@@ -16,7 +16,7 @@ how the paper reads off the essential internal steps of the MS queue
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, List, Set, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .lts import LTS, TAU_ID, AnyLTS, FrozenLTS
 from .partition import BlockMap, num_blocks
@@ -31,14 +31,17 @@ class Quotient:
     lts:
         The quotient transition system (frozen).
     block_of:
-        Map from original states to quotient states.
+        Map from original states to quotient states.  ``None`` for an
+        original state whose class was trimmed as unreachable -- never a
+        negative sentinel, which Python indexing would silently alias to
+        a real quotient state.
     annotations:
         For every quotient transition ``(src, action_id, dst)``, the set
         of annotations of the concrete transitions it collapses.
     """
 
     lts: FrozenLTS
-    block_of: BlockMap
+    block_of: List[Optional[int]]
     annotations: Dict[Tuple[int, int, int], Set[Any]] = field(default_factory=dict)
 
     def essential_internal_annotations(self) -> Set[Any]:
@@ -97,7 +100,7 @@ def quotient_lts(lts: AnyLTS, block_of: BlockMap) -> Quotient:
                 new_annotations[(remap[src], taid, remap[dst])] = annotations.get(
                     (src, aid, dst), set()
                 )
-        block_map = [remap.get(block_of[s], -1) for s in range(len(block_of))]
+        block_map = [remap.get(block_of[s]) for s in range(len(block_of))]
         return Quotient(
             lts=trimmed.freeze(), block_of=block_map, annotations=new_annotations
         )

@@ -18,6 +18,7 @@ from .partition import (
     refine_to_fixpoint,
 )
 from .branching import Comparison
+from .splitter import resolve_engine, strong_splitter
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..util.budget import RunBudget
@@ -50,9 +51,24 @@ def strong_partition(
     initial: Optional[BlockMap] = None,
     stats: Optional["Stats"] = None,
     budget: Optional["RunBudget"] = None,
+    engine: Optional[str] = None,
 ) -> BlockMap:
-    """Partition of the states of ``lts`` under strong bisimilarity."""
+    """Partition of the states of ``lts`` under strong bisimilarity.
+
+    ``engine`` selects the refinement engine
+    (:data:`repro.core.splitter.ENGINES`; ``None`` means the default).
+    """
     frozen = ensure_frozen(lts)
+    if resolve_engine(engine) == "splitter":
+        if stats is None:
+            return strong_splitter(frozen, initial=initial, budget=budget)
+        with stats.stage("refinement"):
+            block_of = strong_splitter(
+                frozen, initial=initial, budget=budget, stats=stats
+            )
+            stats.count("blocks", num_blocks(block_of))
+        return block_of
+
     interner = SignatureInterner()
 
     def signature_fn(block_of: BlockMap):
@@ -76,10 +92,11 @@ def compare_strong(
     b: AnyLTS,
     stats: Optional["Stats"] = None,
     budget: Optional["RunBudget"] = None,
+    engine: Optional[str] = None,
 ) -> Comparison:
     """Decide whether two LTSs are strongly bisimilar."""
     union, init_a, init_b = disjoint_union(a, b)
-    block_of = strong_partition(union, stats=stats, budget=budget)
+    block_of = strong_partition(union, stats=stats, budget=budget, engine=engine)
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],
         union=union,

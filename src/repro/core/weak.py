@@ -28,6 +28,7 @@ from .partition import (
     refine_to_fixpoint,
 )
 from .branching import Comparison, DIVERGENCE_CODE
+from .splitter import resolve_engine, weak_splitter
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..util.budget import RunBudget
@@ -123,13 +124,28 @@ def weak_partition(
     initial: Optional[BlockMap] = None,
     stats: Optional["Stats"] = None,
     budget: Optional["RunBudget"] = None,
+    engine: Optional[str] = None,
 ) -> BlockMap:
     """Partition of the states of ``lts`` under weak bisimilarity.
 
     With ``divergence=True`` this is weak bisimulation with explicit
-    divergence (the variant mentioned alongside Table VII).
+    divergence (the variant mentioned alongside Table VII).  ``engine``
+    selects the refinement engine
+    (:data:`repro.core.splitter.ENGINES`; ``None`` means the default).
     """
     frozen = ensure_frozen(lts)
+    if resolve_engine(engine) == "splitter":
+        if stats is None:
+            return weak_splitter(
+                frozen, divergence=divergence, initial=initial, budget=budget
+            )
+        with stats.stage("refinement"):
+            block_of = weak_splitter(
+                frozen, divergence=divergence, initial=initial,
+                budget=budget, stats=stats,
+            )
+            stats.count("blocks", num_blocks(block_of))
+        return block_of
 
     def run() -> BlockMap:
         closures = tau_closures(frozen)
@@ -171,11 +187,12 @@ def compare_weak(
     divergence: bool = False,
     stats: Optional["Stats"] = None,
     budget: Optional["RunBudget"] = None,
+    engine: Optional[str] = None,
 ) -> Comparison:
     """Decide whether two LTSs are weakly bisimilar."""
     union, init_a, init_b = disjoint_union(a, b)
     block_of = weak_partition(
-        union, divergence=divergence, stats=stats, budget=budget
+        union, divergence=divergence, stats=stats, budget=budget, engine=engine
     )
     return Comparison(
         equivalent=block_of[init_a] == block_of[init_b],

@@ -38,6 +38,7 @@ from .differential import (
     FuzzReport,
     MUTATIONS,
     check_budget_governance,
+    check_engine_parity,
     check_equivalences,
     check_instance,
     check_seeded_refinement,
@@ -74,6 +75,7 @@ __all__ = [
     "FuzzReport",
     "MUTATIONS",
     "check_budget_governance",
+    "check_engine_parity",
     "check_equivalences",
     "check_instance",
     "check_seeded_refinement",

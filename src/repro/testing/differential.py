@@ -104,6 +104,76 @@ def parity_seed(lts: LTS) -> BlockMap:
     return [state % 2 for state in range(lts.num_states)]
 
 
+#: Relation variants run through *both* refinement engines by
+#: :func:`check_engine_parity`.  Each entry takes ``(lts, engine,
+#: budget)`` and returns the partition that engine computes; the sweep
+#: engine is the oracle the splitter queue must match partition-for-
+#: partition.  All four equivalences are covered, with and without the
+#: reduction pass, plus the seeded code paths (where the splitter's
+#: seed pre-splitting and the sweep's split keys can diverge).
+ENGINE_PAIR_RELATIONS: Dict[str, Callable[..., BlockMap]] = {
+    "strong": lambda lts, engine, budget=None: strong_partition(
+        lts, engine=engine, budget=budget
+    ),
+    "strong-seeded": lambda lts, engine, budget=None: strong_partition(
+        lts, initial=parity_seed(lts), engine=engine, budget=budget
+    ),
+    "branching": lambda lts, engine, budget=None: branching_partition(
+        lts, engine=engine, budget=budget
+    ),
+    "branching-div": lambda lts, engine, budget=None: branching_partition(
+        lts, divergence=True, engine=engine, budget=budget
+    ),
+    "branching-reduced": lambda lts, engine, budget=None: branching_partition(
+        lts, reduce=True, engine=engine, budget=budget
+    ),
+    "branching-div-reduced": lambda lts, engine, budget=None: (
+        branching_partition(
+            lts, divergence=True, reduce=True, engine=engine, budget=budget
+        )
+    ),
+    "branching-seeded": lambda lts, engine, budget=None: branching_partition(
+        lts, initial=parity_seed(lts), engine=engine, budget=budget
+    ),
+    "weak": lambda lts, engine, budget=None: weak_partition(
+        lts, engine=engine, budget=budget
+    ),
+    "weak-div": lambda lts, engine, budget=None: weak_partition(
+        lts, divergence=True, engine=engine, budget=budget
+    ),
+}
+
+
+def check_engine_parity(
+    lts: LTS,
+    relations: Optional[List[str]] = None,
+    budget: Optional[RunBudget] = None,
+) -> List[Disagreement]:
+    """Splitter-queue engine vs. sweep engine on the same instance.
+
+    The two engines must compute identical partitions
+    (``same_partition``) on every relation variant.  This is also what
+    keeps the sweep-only mutations catchable now that the splitter is
+    the default: a bug injected into either engine breaks the parity.
+    """
+    out: List[Disagreement] = []
+    for name in relations or list(ENGINE_PAIR_RELATIONS):
+        run = ENGINE_PAIR_RELATIONS[name]
+        sweep = run(lts, "sweep", budget=budget)
+        splitter = run(lts, "splitter", budget=budget)
+        if not same_partition(sweep, splitter):
+            out.append(Disagreement(
+                kind="engine",
+                name=name,
+                detail=(
+                    "splitter-queue partition differs from the sweep "
+                    f"engine's: {splitter} vs {sweep}"
+                ),
+                lts=lts,
+            ))
+    return out
+
+
 @dataclass
 class Disagreement:
     """One engine/oracle (or law) mismatch on a concrete instance."""
@@ -312,6 +382,7 @@ def check_instance(
     out: List[Disagreement] = []
     if lts.num_states <= oracle_state_limit:
         out.extend(check_equivalences(lts, budget=budget))
+    out.extend(check_engine_parity(lts, budget=budget))
     out.extend(check_reduction(lts, budget=budget))
     out.extend(check_seeded_refinement(
         lts, oracle_state_limit=oracle_state_limit, budget=budget
@@ -483,10 +554,46 @@ def _mutate_drop_budget_checks() -> Iterator[None]:
         B.RunBudget.check = original
 
 
+@contextmanager
+def _mutate_splitter_drop_smaller_half() -> Iterator[None]:
+    """The splitter queue stops re-queuing a coarse block that is still
+    compound after its smaller half was carved out -- the classic
+    "Hopcroft shortcut applied to a nondeterministic system" bug: later
+    constituents are never used as splitters, so blocks that should
+    separate on them stay merged.  Caught by
+    :func:`check_engine_parity` against the sweep oracle."""
+    from ..core import splitter as S
+
+    original = S._REQUEUE_COMPOUND
+    S._REQUEUE_COMPOUND = False
+    try:
+        yield
+    finally:
+        S._REQUEUE_COMPOUND = original
+
+
+@contextmanager
+def _mutate_splitter_skip_dirty_preds() -> Iterator[None]:
+    """The branching splitter stops marking predecessor blocks dirty
+    when a block splits: their members keep stale signatures and blocks
+    that should separate on the refined target stay merged.  Caught by
+    :func:`check_engine_parity` against the sweep oracle."""
+    from ..core import splitter as S
+
+    original = S._DIRTY_PREDECESSORS
+    S._DIRTY_PREDECESSORS = False
+    try:
+        yield
+    finally:
+        S._DIRTY_PREDECESSORS = original
+
+
 MUTATIONS: Dict[str, Callable[[], object]] = {
     "drop-block-id": _mutate_drop_block_id,
     "drop-budget-checks": _mutate_drop_budget_checks,
     "skip-divergence-mark": _mutate_skip_divergence_mark,
+    "splitter-drop-smaller-half": _mutate_splitter_drop_smaller_half,
+    "splitter-skip-dirty-preds": _mutate_splitter_skip_dirty_preds,
     "truncate-tau-closure": _mutate_truncate_tau_closure,
     "reduce-ignore-divergence": _mutate_reduce_ignore_divergence,
 }
@@ -565,6 +672,8 @@ def _shrink_disagreement(disagreement: Disagreement) -> LTS:
     def still_fails(candidate: LTS) -> bool:
         if disagreement.kind == "relation":
             return bool(check_equivalences(candidate, [disagreement.name]))
+        if disagreement.kind == "engine":
+            return bool(check_engine_parity(candidate, [disagreement.name]))
         if disagreement.kind == "reduction":
             return bool(check_reduction(candidate, [disagreement.name]))
         if disagreement.kind == "seeded":
@@ -670,7 +779,8 @@ def run_fuzz(
                 report.exhausted += 1
                 continue
             report.checks += (
-                len(ENGINE_PARTITIONS) + len(REDUCTION_RELATIONS)
+                len(ENGINE_PARTITIONS) + len(ENGINE_PAIR_RELATIONS)
+                + len(REDUCTION_RELATIONS)
                 + len(SEEDED_RELATIONS) + len(laws.ALL_LAWS) + 2
             )
             if found:

@@ -100,6 +100,7 @@ def check_linearizability(
     shard_states: Optional[int] = None,
     spec_checkpoint: Optional[CheckpointSink] = None,
     spec_resume: Optional[Checkpoint] = None,
+    engine: Optional[str] = None,
 ) -> LinearizabilityResult:
     """Run the full Theorem 5.3 pipeline for one object.
 
@@ -109,6 +110,9 @@ def check_linearizability(
     ``reduce`` (default on) compresses silent structure with
     :func:`repro.core.reduce.reduce_lts` before each refinement; the
     partitions it yields are identical, only faster to compute.
+    ``engine`` selects the refinement engine
+    (:data:`repro.core.splitter.ENGINES`; ``None`` means the default) --
+    both engines compute the same partitions.
 
     With a :class:`~repro.util.metrics.Stats` sink the pipeline records
     ``explore`` / ``spec`` / ``quotient`` (with nested ``reduce`` /
@@ -154,13 +158,13 @@ def check_linearizability(
             impl_quotient = quotient_lts(
                 impl,
                 branching_partition(impl, stats=stats, reduce=reduce,
-                                    budget=budget),
+                                    budget=budget, engine=engine),
             )
             impl_quotient_states = impl_quotient.lts.num_states
             spec_quotient = quotient_lts(
                 spec_system,
                 branching_partition(spec_system, stats=stats, reduce=reduce,
-                                    budget=budget),
+                                    budget=budget, engine=engine),
             )
             spec_quotient_states = spec_quotient.lts.num_states
             if stats is not None:

@@ -80,6 +80,7 @@ def check_lock_freedom_auto(
     workers: int = 0,
     fault_plan=None,
     shard_states: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> LockFreedomResult:
     """Theorem 5.9: fully automatic lock-freedom check.
 
@@ -101,7 +102,9 @@ def check_lock_freedom_auto(
       test-suite checks both methods agree on every benchmark.
 
     ``reduce`` (default on) compresses silent structure before each
-    refinement; it changes timings only, never verdicts.
+    refinement; it changes timings only, never verdicts.  ``engine``
+    selects the refinement engine
+    (:data:`repro.core.splitter.ENGINES`; ``None`` means the default).
 
     With a :class:`~repro.util.budget.RunBudget` the check is governed
     end to end: exhaustion yields ``lock_free=None`` (``UNKNOWN``) with
@@ -129,7 +132,7 @@ def check_lock_freedom_auto(
             quotient = quotient_lts(
                 impl,
                 branching_partition(impl, stats=stats, reduce=reduce,
-                                    budget=budget),
+                                    budget=budget, engine=engine),
             )
             quotient_states = quotient.lts.num_states
             if stats is not None:
@@ -138,7 +141,7 @@ def check_lock_freedom_auto(
             if method == "union":
                 comparison = compare_branching(
                     impl, quotient.lts, divergence=True, stats=stats,
-                    reduce=reduce, budget=budget,
+                    reduce=reduce, budget=budget, engine=engine,
                 )
                 lock_free = comparison.equivalent
             else:
@@ -220,6 +223,7 @@ def check_lock_freedom_abstract(
     stats: Optional[Stats] = None,
     reduce: bool = True,
     budget: Optional[RunBudget] = None,
+    engine: Optional[str] = None,
 ) -> AbstractLockFreedomResult:
     """Theorem 5.8: prove ``concrete ~div abstract``, check the abstract.
 
@@ -244,7 +248,7 @@ def check_lock_freedom_abstract(
         with stage(stats, "check"):
             comparison = compare_branching(
                 concrete, abstract_system, divergence=True, stats=stats,
-                reduce=reduce, budget=budget,
+                reduce=reduce, budget=budget, engine=engine,
             )
             abstract_lock_free: Optional[bool] = None
             if comparison.equivalent:

@@ -98,6 +98,27 @@ def test_quotient_block_map_covers_reachable_states():
         assert 0 <= quotient.block_of[state] < quotient.lts.num_states
 
 
+def test_quotient_block_map_does_not_alias_trimmed_states():
+    # State 3's class is unreachable and trimmed from the quotient
+    # (state 2 is unreachable too, but shares its class with the
+    # reachable state 1, so its class survives).  The trimmed entry
+    # used to be the sentinel -1 -- a *valid* negative Python index
+    # that silently aliases the last quotient state in any consumer
+    # indexing with it.  It must be None instead.
+    lts = make_lts(4, 0, [(0, "a", 1), (3, "b", 2)])
+    blocks = branching_partition(lts)
+    quotient = quotient_lts(lts, blocks)
+    assert quotient.lts.num_states < len(set(blocks))  # trim path exercised
+    assert quotient.block_of[3] is None
+    # States of surviving classes keep valid in-range indices; state 2
+    # maps with its classmate 1, not to a trimmed marker.
+    for state in (0, 1, 2):
+        mapped = quotient.block_of[state]
+        assert mapped is not None
+        assert 0 <= mapped < quotient.lts.num_states
+    assert quotient.block_of[2] == quotient.block_of[1]
+
+
 def test_quotient_of_quotient_is_isomorphic():
     lts = build_ms_like()
     q1 = quotient_lts(lts, branching_partition(lts))

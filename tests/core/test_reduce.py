@@ -157,6 +157,41 @@ def test_lift_partition_round_trip():
     assert lifted == reduced.state_of
 
 
+def test_reduce_path_blocks_counter_reflects_lifted_partition(monkeypatch):
+    # ``branching_partition(reduce=True, stats=...)`` must record the
+    # block count of the lifted partition it *returns*, not of the
+    # compressed inner run.  The real pass always produces a surjective
+    # ``state_of`` (the two counts then coincide), so the regression is
+    # pinned with a stub reduction whose reduced system carries an
+    # extra state outside the image: a counter read off the inner run
+    # would report 2 blocks, but the partition handed back has 1.
+    from repro.core import branching as branching_mod
+    from repro.core.lts import ensure_frozen
+    from repro.core.reduce import ReducedLTS
+
+    lts = make_lts(1, 0, [])
+    padded = make_lts(2, 0, [(1, "b", 1)])
+
+    def fake_reduce(frozen, divergence=False, stats=None, budget=None):
+        return ReducedLTS(
+            lts=ensure_frozen(padded),
+            state_of=[0],
+            representative=[0, 0],
+            divergent=[False, False],
+            states_removed=0,
+            transitions_removed=0,
+        )
+
+    monkeypatch.setattr(branching_mod.reduce_mod, "reduce_lts", fake_reduce)
+    stats = Stats()
+    block_of = branching_partition(lts, stats=stats, reduce=True)
+    counters = stats.stage_counters("refinement")
+    from repro.core import num_blocks
+
+    assert num_blocks(block_of) == 1
+    assert counters["blocks"] == 1
+
+
 # ----------------------------------------------------------------------
 # Properties: the pass is invisible to refinement and quotienting
 # ----------------------------------------------------------------------

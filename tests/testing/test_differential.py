@@ -67,13 +67,28 @@ def test_every_mutation_is_caught(mutation):
     assert all(case.path is None for case in report.cases)
 
 
-def test_drop_block_id_is_caught_by_seeded_refinement():
-    # The acceptance-criteria mutation: from a trivial initial partition
-    # it is invisible (equal signatures already imply equal blocks), so
-    # the catch must come from the seeded-refinement checks.
+def test_drop_block_id_is_caught_by_engine_parity():
+    # The split-key mutation lives in the sweep engine's refine_step,
+    # and from a trivial initial partition it is invisible even there
+    # (equal signatures already imply equal blocks).  The default
+    # engine is now the splitter queue, so the catch must come from the
+    # sweep-vs-splitter parity check on a seeded variant.
     report = run_fuzz(seed=0, n=100, mutate="drop-block-id")
     assert report.disagreements
-    assert {d.kind for d in report.disagreements} == {"seeded"}
+    assert {d.kind for d in report.disagreements} == {"engine"}
+    assert all("seeded" in d.name for d in report.disagreements)
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    ["splitter-drop-smaller-half", "splitter-skip-dirty-preds"],
+)
+def test_splitter_mutations_are_caught_by_engine_parity(mutation):
+    # Bugs injected into the splitter queue itself must be caught by
+    # the parity check against the (unmutated) sweep oracle.
+    report = run_fuzz(seed=0, n=100, mutate=mutation)
+    assert report.disagreements
+    assert "engine" in {d.kind for d in report.disagreements}
 
 
 def test_unknown_mutation_rejected():
@@ -127,7 +142,10 @@ def test_fuzz_writes_shrunk_corpus_cases(tmp_path):
     with open(meta_path) as handle:
         meta = json.load(handle)
     assert meta["schema"] == "repro.fuzz-case/v1"
-    assert meta["kind"] == "relation"
+    # The sweep-side mutation shows up as an engine-parity mismatch on
+    # the divergence-sensitive variant (the default engine is the
+    # splitter queue, which the mutation does not touch).
+    assert meta["kind"] == "engine"
     assert meta["name"] == "branching-div"
 
 
