@@ -29,12 +29,16 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 PIPELINE_JSON = _REPO_ROOT / "BENCH_pipeline.json"
 REFINEMENT_JSON = _REPO_ROOT / "BENCH_refinement.json"
+REACHABILITY_JSON = _REPO_ROOT / "BENCH_reachability.json"
 
 #: Named per-bench metric sinks, aggregated at session end.
 _PIPELINE_SINKS = {}
 
 #: Per-case engine-comparison records, aggregated at session end.
 _REFINEMENT_RESULTS = {}
+
+#: Per-case verdict-engine comparison records (quotient vs reachability).
+_REACHABILITY_RESULTS = {}
 
 
 @pytest.fixture(scope="session")
@@ -89,6 +93,21 @@ def refinement_results():
     return record
 
 
+@pytest.fixture(scope="session")
+def reachability_results():
+    """Recorder for quotient-vs-reachability verdict-engine records.
+
+    ``reachability_results("hm_list 2x2", {...})`` stores one
+    JSON-serialisable record per case.  At session end the records are
+    merged into ``BENCH_reachability.json`` at the repo root.
+    """
+
+    def record(name: str, payload: dict) -> None:
+        _REACHABILITY_RESULTS[name] = payload
+
+    return record
+
+
 def _merge_json(path, schema, key, fresh):
     payload = {"schema": schema, "scale": SCALE, key: {}}
     if path.exists():
@@ -116,4 +135,11 @@ def pytest_sessionfinish(session, exitstatus):
             "repro.bench-refinement/v1",
             "cases",
             dict(sorted(_REFINEMENT_RESULTS.items())),
+        )
+    if _REACHABILITY_RESULTS:
+        _merge_json(
+            REACHABILITY_JSON,
+            "repro.bench-reachability/v1",
+            "cases",
+            dict(sorted(_REACHABILITY_RESULTS.items())),
         )

@@ -1,0 +1,101 @@
+"""Bench smoke: the two linearizability verdict engines side by side.
+
+Runs the quotient/trace-refinement pipeline and the BEEH reachability
+backend on the same objects at the same client bounds, in the same
+process.  A warm-up pass absorbs allocator and import-cache effects;
+each engine then gets several timed repetitions and the fastest
+repetition is recorded.
+
+The *gate* is verdict agreement (plus matching the registry's expected
+ground truth) -- neither engine is required to beat the other, because
+their costs scale along different axes: the quotient engine pays for
+partition refinement over impl and spec systems, the reachability
+engine pays for the product with the specification-monitor powerset.
+The timings are published so the trade-off stays visible, not gated.
+
+Per-case records land in ``BENCH_reachability.json`` at the repo root.
+"""
+
+import time
+
+import pytest
+
+from repro.objects import get
+from repro.verify import check_linearizability, check_linearizability_reachability
+
+#: (bench key, threads, ops) -- hm_list is the workhorse list object,
+#: hw_queue the future-dependent queue only reachability-style search
+#: handles without speculation.
+CASES = [
+    ("hm_list", 2, 2),
+    ("hw_queue", 2, 2),
+]
+
+REPS = 3
+
+
+def _run(method, bench, threads, ops):
+    """One timed pipeline run; returns (wall seconds, result)."""
+    check = (
+        check_linearizability
+        if method == "quotient"
+        else check_linearizability_reachability
+    )
+    start = time.perf_counter()
+    result = check(
+        bench.build(threads), bench.spec(),
+        num_threads=threads, ops_per_thread=ops,
+        workload=bench.default_workload(),
+    )
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.parametrize(
+    "key,threads,ops", CASES, ids=[f"{k}_{t}x{o}" for k, t, o in CASES]
+)
+def test_verdict_engines_agree_and_publish_timings(
+    key, threads, ops, reachability_results, bench_out
+):
+    bench = get(key)
+    expected = "TRUE" if bench.expect_linearizable else "FALSE"
+
+    reps = {"quotient": [], "reachability": []}
+    results = {}
+    for method in ("quotient", "reachability"):
+        _run(method, bench, threads, ops)  # warm-up, untimed
+        for _ in range(REPS):
+            seconds, result = _run(method, bench, threads, ops)
+            reps[method].append(seconds)
+            results[method] = result
+
+    quotient, reach = results["quotient"], results["reachability"]
+    assert quotient.verdict == reach.verdict == expected, (
+        f"{key} {threads}x{ops}: quotient={quotient.verdict} "
+        f"reachability={reach.verdict} expected={expected}"
+    )
+
+    quotient_s = min(reps["quotient"])
+    reach_s = min(reps["reachability"])
+    ratio = quotient_s / reach_s if reach_s else float("inf")
+    reachability_results(
+        f"{key} {threads}x{ops}",
+        {
+            "verdict": reach.verdict,
+            "impl_states": reach.impl_states,
+            "product_states": reach.product_states,
+            "monitor_states": reach.monitor_states,
+            "quotient_s": round(quotient_s, 6),
+            "reachability_s": round(reach_s, 6),
+            "quotient_over_reachability": round(ratio, 3),
+            "quotient_reps_s": [round(s, 6) for s in reps["quotient"]],
+            "reachability_reps_s": [round(s, 6) for s in reps["reachability"]],
+        },
+    )
+    bench_out(
+        f"reachability_smoke_{key}_{threads}x{ops}",
+        f"verdict-engine smoke {key} {threads}x{ops}: verdict={reach.verdict}\n"
+        f"  impl={reach.impl_states} product={reach.product_states} "
+        f"monitors={reach.monitor_states}\n"
+        f"  quotient={quotient_s:.3f}s reachability={reach_s:.3f}s "
+        f"ratio={ratio:.2f}x",
+    )

@@ -28,12 +28,18 @@ across worker processes with crash recovery (byte-identical output;
 ``lockfree`` / ``quotient`` / ``compare`` accept
 ``--engine {splitter,sweep}`` to select the refinement engine (the
 splitter queue is the default; the signature sweep is the oracle).
-See docs/ROBUSTNESS.md.
+``lin`` additionally accepts ``--method
+{quotient,reachability,both}`` to pick the verdict engine: the
+Theorem 5.3 quotient pipeline, the independent BEEH
+reachability backend, or both -- ``both`` cross-checks the verdicts
+and exits 3 (loudly) if the engines disagree.  See
+docs/ROBUSTNESS.md and docs/TESTING.md.
 
 Examples::
 
     python -m repro verify ms_queue --threads 2 --ops 2
     python -m repro lin ms_queue --deadline 60 --degrade
+    python -m repro lin hw_queue --method both
     python -m repro lockfree treiber --max-rss-mb 2048
     python -m repro explore ms_queue --ops 3 --out ms.aut --checkpoint ms.ckpt
     python -m repro quotient treiber --out treiber.aut
@@ -66,16 +72,19 @@ from .objects import BENCHMARKS, get
 from .parallel import maybe_parallel_explore
 from .util import Stats, render_table, stage
 from .util.budget import (
+    EXIT_DISAGREEMENT,
     EXIT_INTERRUPTED,
     EXIT_UNKNOWN,
     REASON_INTERRUPTED,
     UNKNOWN,
     BudgetExhausted,
     RunBudget,
+    combined_verdict,
     exit_code_for,
 )
 from .verify import (
     check_linearizability,
+    check_linearizability_reachability,
     check_lock_freedom_auto,
     check_obstruction_freedom,
 )
@@ -316,12 +325,64 @@ def _print_lin(result, label: str = "linearizable") -> None:
         print(result.render_counterexample())
 
 
+def _print_reach(result, label: str = "linearizable") -> None:
+    if result.exhaustion is not None:
+        _report_exhaustion(label, result)
+        return
+    print(f"states {result.impl_states} -> product {result.product_states} "
+          f"({result.monitor_states} monitor sets)")
+    print(f"{label}: {result.verdict}  ({result.total_seconds:.2f}s)")
+    if result.linearizable is False:
+        print(result.render_counterexample())
+
+
+class _BothResult:
+    """Combined ``lin --method both`` outcome.
+
+    Presents the :func:`~repro.util.budget.combined_verdict` of the two
+    engines through the same ``verdict`` / ``exhaustion`` surface the
+    degrade ladder and exit-code mapping expect.  On disagreement the
+    verdict is the sentinel ``"DISAGREE"`` (never ``UNKNOWN``, so the
+    degrade ladder stops rather than retrying an engine bug away) and
+    :func:`cmd_lin` exits :data:`~repro.util.budget.EXIT_DISAGREEMENT`.
+    """
+
+    def __init__(self, quotient, reachability) -> None:
+        self.quotient = quotient
+        self.reachability = reachability
+        self._verdict, self.disagree = combined_verdict(
+            quotient.verdict, reachability.verdict
+        )
+
+    @property
+    def verdict(self) -> str:
+        return "DISAGREE" if self.disagree else self._verdict
+
+    @property
+    def exhaustion(self):
+        return self.quotient.exhaustion or self.reachability.exhaustion
+
+
+def _print_both(result, label: str = "linearizable") -> None:
+    _print_lin(result.quotient, f"{label} [quotient]")
+    _print_reach(result.reachability, f"{label} [reachability]")
+    if result.disagree:
+        print(
+            "ERROR: verdict engines disagree -- "
+            f"quotient={result.quotient.verdict} "
+            f"reachability={result.reachability.verdict} "
+            "(this is an engine bug, not a property of the object)"
+        )
+    else:
+        print(f"{label}: {result.verdict}  (both engines agree)")
+
+
 def cmd_lin(args) -> int:
     """Linearizability with budget governance and a degradation ladder."""
     bench, _workload, _config = _bench_and_config(args)
     sinks, sink = _make_sinks(args)
     budget = _budget_from(args)
-    print(f"== {bench.title} | linearizability | "
+    print(f"== {bench.title} | linearizability ({args.method}) | "
           f"{args.threads} threads x {args.ops} ops ==")
     spec_sink = (
         CheckpointSink(args.spec_checkpoint) if args.spec_checkpoint else None
@@ -330,7 +391,8 @@ def cmd_lin(args) -> int:
         load_checkpoint(args.spec_resume) if args.spec_resume else None
     )
 
-    def attempt(threads: int, ops: int, values: int, force_reduce: bool):
+    def attempt_quotient(threads: int, ops: int, values: int,
+                         force_reduce: bool):
         # Spec checkpoints are fingerprinted against the workload, and a
         # degraded rung shrinks (threads, ops, values) -- resuming from
         # (or overwriting) the original-config checkpoint there would be
@@ -354,11 +416,41 @@ def cmd_lin(args) -> int:
             engine=args.engine,
         )
 
+    def attempt_reach(threads: int, ops: int, values: int):
+        return check_linearizability_reachability(
+            bench.build(threads), bench.spec(),
+            num_threads=threads, ops_per_thread=ops,
+            workload=bench.default_workload(values),
+            max_states=args.max_states,
+            stats=sink(f"reachability t={threads} ops={ops} v={values}"),
+            budget=budget,
+            workers=args.workers, fault_plan=args.fault_plan,
+            shard_states=args.shard_states,
+        )
+
+    def attempt(threads: int, ops: int, values: int, force_reduce: bool):
+        if args.method == "quotient":
+            return attempt_quotient(threads, ops, values, force_reduce)
+        if args.method == "reachability":
+            return attempt_reach(threads, ops, values)
+        return _BothResult(
+            attempt_quotient(threads, ops, values, force_reduce),
+            attempt_reach(threads, ops, values),
+        )
+
+    printer = {
+        "quotient": _print_lin,
+        "reachability": _print_reach,
+        "both": _print_both,
+    }[args.method]
+
     with budget.install_sigint():
         result = attempt(args.threads, args.ops, args.values, False)
-        _print_lin(result)
-        result = _degrade_retry(args, budget, result, attempt, _print_lin)
+        printer(result)
+        result = _degrade_retry(args, budget, result, attempt, printer)
     _emit_stats(args, sinks)
+    if getattr(result, "disagree", False):
+        return EXIT_DISAGREEMENT
     return _verdict_exit(result)
 
 
@@ -607,6 +699,13 @@ def cmd_fuzz(args) -> int:
         progress=print,
     )
     print(report.render())
+    if report.instances == 0 or report.checks == 0:
+        # A run that never actually checked anything (e.g. the time
+        # budget expired before the first instance) must not pass --
+        # with --expect-bug it would otherwise be a vacuous "the
+        # harness has teeth" claim.
+        print("ERROR: vacuous fuzz run -- no instance was actually checked")
+        return 1
     found_bug = bool(report.disagreements)
     if args.expect_bug:
         if found_bug:
@@ -654,6 +753,14 @@ def build_parser() -> argparse.ArgumentParser:
                 help="how to detect divergence (see check_lock_freedom_auto)",
             )
         else:
+            sub.add_argument(
+                "--method",
+                choices=["quotient", "reachability", "both"],
+                default="quotient",
+                help="verdict engine: the Theorem 5.3 quotient pipeline, "
+                     "the BEEH reachability backend, or both "
+                     "(cross-checked; exit 3 on disagreement)",
+            )
             sub.add_argument("--spec-checkpoint", metavar="PATH", default=None,
                              help="periodically snapshot the specification-"
                                   "LTS generation to PATH")

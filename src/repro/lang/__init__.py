@@ -53,6 +53,7 @@ from .client import (
 )
 from .spec import (
     SpecObject,
+    atomic_spec,
     queue_spec,
     register_spec,
     set_spec,
@@ -113,6 +114,7 @@ __all__ = [
     "explore",
     "uniform_workload",
     "SpecObject",
+    "atomic_spec",
     "queue_spec",
     "register_spec",
     "set_spec",

@@ -23,6 +23,7 @@ from .state import ModelError
 if TYPE_CHECKING:  # pragma: no cover
     from ..util.budget import RunBudget
     from ..util.metrics import Stats
+    from .program import ObjectProgram
 
 #: A sequential method: ``(state, args) -> [(new_state, return_value), ...]``.
 #: Multiple results model specification-level nondeterminism.
@@ -289,4 +290,67 @@ def register_spec(initial: int = 0, name: str = "register-spec") -> SpecObject:
 
     return SpecObject(
         name=name, initial=initial, methods={"newcas": new_cas, "read": read}
+    )
+
+
+def atomic_spec(program: "ObjectProgram", name: Optional[str] = None) -> SpecObject:
+    """The atomic (sequential) specification derived from a DSL program.
+
+    Every method body runs to completion in one indivisible step over
+    the shared state: the abstract state is the canonicalized
+    ``(globals, heap)`` pair and a method application collects every
+    reachable terminating run of the body's small-step semantics
+    (nondeterminism in the body shows up as multiple outcomes, exactly
+    the ``SpecMethod`` contract).  A body that cannot terminate from
+    some state contributes no outcome from it -- the operation can then
+    never linearize, matching the sequential semantics.
+
+    This is the canonical specification for generated programs
+    (:mod:`repro.testing.generators`), giving the differential harness
+    a spec for *arbitrary* programs so both verdict engines can be run
+    and cross-checked on fuzzed inputs.
+    """
+    from .semantics import execute
+    from .state import canonicalize
+
+    def make(method) -> SpecMethod:
+        def run(state: Any, args: Tuple[Any, ...], _method=method):
+            g, heap = state
+            env = _method.initial_env(1, args)
+            ops = _method.ops
+            results = set()
+            start = (g, heap, _method.pack_env(env), 0)
+            seen = {start}
+            stack = [start]
+            while stack:
+                cg, cheap, packed, pc = stack.pop()
+                if pc >= len(ops):
+                    raise ModelError(
+                        f"method {_method.name!r} fell off the end "
+                        "(body must end in Return)"
+                    )
+                cenv = _method.unpack_env(packed)
+                for outcome in execute(program, ops[pc], cg, cheap, cenv):
+                    if outcome[0] in ("ret", "retpend"):
+                        _kind, ng, nheap, value = outcome
+                        ng, nheap, _ = canonicalize(ng, nheap, ())
+                        results.add(((ng, nheap), value))
+                    else:
+                        _kind, ng, nheap, nenv, target = outcome
+                        npc = pc + 1 if target < 0 else target
+                        node = (ng, nheap, _method.pack_env(nenv), npc)
+                        if node not in seen:
+                            seen.add(node)
+                            stack.append(node)
+            return sorted(results, key=repr)
+
+        return run
+
+    g0, heap0, _ = canonicalize(
+        program.initial_globals(), program.initial_heap, ()
+    )
+    return SpecObject(
+        name=name or f"atomic-{program.name}",
+        initial=(g0, heap0),
+        methods={m.name: make(m) for m in program.methods},
     )

@@ -43,9 +43,12 @@ from .differential import (
     check_instance,
     check_seeded_refinement,
     check_trace_refinement,
+    check_verdict_engines,
     parity_seed,
+    quotient_refinement_verdict,
     run_fuzz,
     shrink_lts,
+    verdict_engine_disagreements,
 )
 
 __all__ = [
@@ -80,7 +83,10 @@ __all__ = [
     "check_instance",
     "check_seeded_refinement",
     "check_trace_refinement",
+    "check_verdict_engines",
     "parity_seed",
+    "quotient_refinement_verdict",
     "run_fuzz",
     "shrink_lts",
+    "verdict_engine_disagreements",
 ]

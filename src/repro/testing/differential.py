@@ -9,10 +9,20 @@ counterexample validity.  Any disagreement is shrunk to a minimal LTS
 by greedy delta-debugging and written to the regression corpus
 (``tests/corpus/``) so it becomes a permanent replay test.
 
+Generated *programs* additionally go through both linearizability
+verdict engines (:func:`check_verdict_engines`): the quotient/trace-
+refinement pipeline and the BEEH reachability backend
+(:mod:`repro.verify.reachability`) must agree verdict-for-verdict
+against the program's own :func:`~repro.lang.spec.atomic_spec`, and any
+reachability violation witness must replay as an implementation trace
+the specification cannot produce.  Two deterministic canary programs
+run first so the engine mutations below are caught without luck.
+
 ``python -m repro fuzz`` is the CLI front end; the ``--mutate`` option
 re-runs the harness against a deliberately broken engine (e.g. a split
-key that drops the block id) to prove the harness would catch a real
-regression -- the CI job does exactly that.
+key that drops the block id, or a monitor that loses linearization
+steps) to prove the harness would catch a real regression -- the CI
+job does exactly that.
 """
 
 from __future__ import annotations
@@ -178,10 +188,17 @@ def check_engine_parity(
 class Disagreement:
     """One engine/oracle (or law) mismatch on a concrete instance."""
 
-    kind: str          # "relation", "trace", or "law"
+    kind: str          # "relation", "trace", "law", "verdict", ...
     name: str          # relation or law name
     detail: str
     lts: Optional[LTS] = None
+    #: Replay predicate for the shrinker: ``replay(candidate_lts)`` is
+    #: True when the candidate still exhibits this disagreement.  Used
+    #: by kinds whose check needs context beyond the LTS itself (the
+    #: verdict-engine cross-check carries its specification here).
+    replay: Optional[Callable[[LTS], bool]] = None
+    #: Extra key/value context merged into the corpus ``.meta.json``.
+    meta: Optional[Dict[str, object]] = None
 
     def render(self) -> str:
         return f"[{self.kind}:{self.name}] {self.detail}"
@@ -336,6 +353,174 @@ def check_trace_refinement(
                 lts=impl,
             ))
     return out
+
+
+def quotient_refinement_verdict(
+    impl: LTS, spec_system: LTS, budget: Optional[RunBudget] = None
+) -> bool:
+    """The quotient engine's linearizability verdict on an explored pair
+    (the Theorem 5.3 pipeline minus the exploration stage)."""
+    impl_quotient = quotient_lts(
+        impl, branching_partition(impl, reduce=True, budget=budget)
+    )
+    spec_quotient = quotient_lts(
+        spec_system, branching_partition(spec_system, reduce=True, budget=budget)
+    )
+    return trace_refines(
+        impl_quotient.lts, spec_quotient.lts, budget=budget
+    ).holds
+
+
+def verdict_engine_disagreements(
+    impl: LTS,
+    spec,
+    spec_system: LTS,
+    budget: Optional[RunBudget] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> List[Disagreement]:
+    """Both verdict engines on an already-explored object system.
+
+    ``spec`` is the :class:`~repro.lang.spec.SpecObject` the
+    reachability monitor composes with; ``spec_system`` is the same
+    specification explored under the same client bounds, which is what
+    the quotient engine refines against.  Reports a disagreement when
+    the verdicts differ, and when the reachability engine's violation
+    witness is not an implementation trace or is one the specification
+    can produce.
+    """
+    from ..verify.reachability import reachability_search
+
+    search = reachability_search(impl, spec, budget=budget)
+    quotient_holds = quotient_refinement_verdict(impl, spec_system, budget=budget)
+    out: List[Disagreement] = []
+    if search.holds != quotient_holds:
+        def replay(candidate: LTS) -> bool:
+            try:
+                cand = reachability_search(candidate, spec)
+                return cand.holds != quotient_refinement_verdict(
+                    candidate, spec_system
+                )
+            except Exception:
+                return False
+
+        out.append(Disagreement(
+            kind="verdict",
+            name="lin-engines",
+            detail=(
+                "reachability engine says "
+                f"{'linearizable' if search.holds else 'not linearizable'}, "
+                "the quotient engine says the opposite"
+            ),
+            lts=impl,
+            replay=replay,
+            meta=meta,
+        ))
+        return out
+    if not search.holds:
+        witness = list(search.counterexample or [])
+        if not oracles.is_trace_of(impl, witness):
+            out.append(Disagreement(
+                kind="verdict",
+                name="reachability-counterexample",
+                detail=(
+                    f"violation witness {witness!r} is not a trace of the "
+                    "implementation"
+                ),
+                lts=impl,
+                meta=meta,
+            ))
+        elif oracles.is_trace_of(spec_system, witness):
+            out.append(Disagreement(
+                kind="verdict",
+                name="reachability-counterexample",
+                detail=(
+                    f"violation witness {witness!r} is a trace of the "
+                    "specification (so the history is linearizable)"
+                ),
+                lts=impl,
+                meta=meta,
+            ))
+    return out
+
+
+def check_verdict_engines(
+    program,
+    spec,
+    num_threads: int = 2,
+    ops_per_thread: int = 1,
+    workload=None,
+    max_states: Optional[int] = 2000,
+    budget: Optional[RunBudget] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> List[Disagreement]:
+    """Cross-check the two linearizability verdict engines on a program.
+
+    Explores the object system and the specification system once under
+    identical client bounds, then compares the quotient/trace-refinement
+    verdict with the BEEH reachability verdict
+    (:func:`verdict_engine_disagreements`).  At equal bounds the engines
+    provably agree, so any disagreement is an engine bug -- this is the
+    cross-check behind the ``drop-monitor-transition`` and
+    ``skip-violation-state`` mutations.
+    """
+    from ..lang import ClientConfig, explore, spec_lts
+
+    if workload is None:
+        raise ValueError("a workload is required")
+    config = ClientConfig(
+        num_threads=num_threads,
+        ops_per_thread=ops_per_thread,
+        workload=workload,
+        max_states=max_states,
+    )
+    impl = explore(program, config, budget=budget)
+    spec_system = spec_lts(
+        spec, num_threads, ops_per_thread, workload,
+        max_states=max_states, budget=budget,
+    )
+    return verdict_engine_disagreements(
+        impl, spec, spec_system, budget=budget, meta=meta
+    )
+
+
+def _canary_programs():
+    """Two fixed programs that deterministically separate the verdict
+    engines under each reachability mutation.
+
+    * ``canary_flag`` (a write-once flag) is linearizable: a monitor
+      that loses other threads' linearization steps
+      (``drop-monitor-transition``) wrongly rejects thread 2's
+      completed operation, so reachability flips to FALSE.
+    * ``canary_blink`` (a 0->1->0 glitch observable by ``get``) is
+      *not* linearizable against its atomic spec: an engine that skips
+      the violation state (``skip-violation-state``) can never report
+      FALSE, so reachability flips to TRUE.
+    """
+    from ..lang import Method, ObjectProgram, ReadGlobal, Return, WriteGlobal
+
+    get = Method(
+        "get", locals_={"x": 0}, body=[ReadGlobal("x", "g"), Return("x")]
+    )
+    flag = ObjectProgram(
+        "canary_flag",
+        [Method("set1", body=[WriteGlobal("g", 1), Return(0)]), get],
+        globals_={"g": 0},
+    )
+    blink = ObjectProgram(
+        "canary_blink",
+        [
+            Method(
+                "blink",
+                body=[WriteGlobal("g", 1), WriteGlobal("g", 0), Return(0)],
+            ),
+            get,
+        ],
+        globals_={"g": 0},
+    )
+    return [
+        ("canary-flag", flag, [("set1", ()), ("get", ())]),
+        ("canary-blink", blink, [("blink", ()), ("get", ())]),
+    ]
 
 
 def check_budget_governance(lts: LTS) -> List[Disagreement]:
@@ -588,8 +773,45 @@ def _mutate_splitter_skip_dirty_preds() -> Iterator[None]:
         S._DIRTY_PREDECESSORS = original
 
 
+@contextmanager
+def _mutate_drop_monitor_transition() -> Iterator[None]:
+    """The reachability monitor loses every linearization step of
+    threads other than thread 1: completed operations of those threads
+    can never be justified, so linearizable programs are wrongly
+    rejected.  Caught by the verdict-engine cross-check
+    (:func:`check_verdict_engines`) -- deterministically by the
+    ``canary_flag`` program."""
+    from ..verify import reachability as R
+
+    original = R._DROP_MONITOR_TRANSITION
+    R._DROP_MONITOR_TRANSITION = True
+    try:
+        yield
+    finally:
+        R._DROP_MONITOR_TRANSITION = original
+
+
+@contextmanager
+def _mutate_skip_violation_state() -> Iterator[None]:
+    """The reachability search treats the empty monitor set as a dead
+    end instead of a violation: the engine can never answer FALSE, so
+    non-linearizable programs are wrongly accepted.  Caught by the
+    verdict-engine cross-check -- deterministically by the
+    ``canary_blink`` program."""
+    from ..verify import reachability as R
+
+    original = R._SKIP_VIOLATION_STATE
+    R._SKIP_VIOLATION_STATE = True
+    try:
+        yield
+    finally:
+        R._SKIP_VIOLATION_STATE = original
+
+
 MUTATIONS: Dict[str, Callable[[], object]] = {
     "drop-block-id": _mutate_drop_block_id,
+    "drop-monitor-transition": _mutate_drop_monitor_transition,
+    "skip-violation-state": _mutate_skip_violation_state,
     "drop-budget-checks": _mutate_drop_budget_checks,
     "skip-divergence-mark": _mutate_skip_divergence_mark,
     "splitter-drop-smaller-half": _mutate_splitter_drop_smaller_half,
@@ -642,16 +864,26 @@ class FuzzReport:
         return "\n".join(lines)
 
 
-def _generate_instance(rng: random.Random, index: int, max_states: int,
-                       tau_density: float, use_programs: bool) -> Optional[LTS]:
-    """Instance mix: mostly raw LTSs, some tau-cycle-heavy, some programs."""
+def _generate_instance(
+    rng: random.Random, index: int, max_states: int,
+    tau_density: float, use_programs: bool,
+) -> Tuple[Optional[LTS], Optional[Tuple]]:
+    """Instance mix: mostly raw LTSs, some tau-cycle-heavy, some programs.
+
+    Returns ``(lts, context)``; ``context`` is ``(program, workload,
+    seed)`` when the instance came from a program draw (so the verdict-
+    engine cross-check can run on it), else ``None``.
+    """
     if use_programs and index % 6 == 5:
+        program_seed = rng.randrange(2**32)
+        program, workload = generators.random_program(program_seed)
         try:
-            return generators.explore_random_program(
-                rng.randrange(2**32), max_states=2000
+            lts = generators.explore_random_program(
+                program_seed, max_states=2000
             )
         except StateExplosion:
-            return None
+            return None, None
+        return lts, (program, workload, program_seed)
     tau_cycles = 1 if index % 4 == 3 else 0
     return generators.random_lts(
         rng.randrange(2**32),
@@ -661,7 +893,7 @@ def _generate_instance(rng: random.Random, index: int, max_states: int,
         tau_density=tau_density,
         deterministic=(index % 10 == 9),
         tau_cycles=tau_cycles,
-    )
+    ), None
 
 
 def _shrink_disagreement(disagreement: Disagreement) -> LTS:
@@ -670,6 +902,10 @@ def _shrink_disagreement(disagreement: Disagreement) -> LTS:
     assert lts is not None
 
     def still_fails(candidate: LTS) -> bool:
+        if disagreement.kind == "verdict":
+            if disagreement.replay is None:
+                return False
+            return bool(disagreement.replay(candidate))
         if disagreement.kind == "relation":
             return bool(check_equivalences(candidate, [disagreement.name]))
         if disagreement.kind == "engine":
@@ -695,15 +931,18 @@ def _write_case(case: FuzzCase, corpus_dir: str) -> str:
     os.makedirs(corpus_dir, exist_ok=True)
     base = os.path.join(corpus_dir, case.name)
     write_aut(case.lts, base + ".aut")
+    payload = {
+        "schema": "repro.fuzz-case/v1",
+        "kind": case.disagreement.kind,
+        "name": case.disagreement.name,
+        "detail": case.disagreement.detail,
+        "origin": "fuzz",
+    }
+    if case.disagreement.meta:
+        payload.update(case.disagreement.meta)
     with open(base + ".meta.json", "w") as handle:
         json.dump(
-            {
-                "schema": "repro.fuzz-case/v1",
-                "kind": case.disagreement.kind,
-                "name": case.disagreement.name,
-                "detail": case.disagreement.detail,
-                "origin": "fuzz",
-            },
+            payload,
             handle,
             indent=2,
         )
@@ -759,11 +998,63 @@ def run_fuzz(
             return None
         return RunBudget(deadline_seconds=max(0.0, min(limits)))
 
+    def handle_found(found: List[Disagreement], case_name: str) -> None:
+        report.disagreements.extend(found)
+        for disagreement in found[:1]:
+            shrunk = _shrink_disagreement(disagreement)
+            case = FuzzCase(
+                name=case_name,
+                disagreement=disagreement,
+                lts=shrunk,
+            )
+            if corpus_dir is not None and mutate is None:
+                case.path = _write_case(case, corpus_dir)
+            report.cases.append(case)
+        if found and progress is not None:
+            progress(found[0].render())
+
+    def over_time() -> bool:
+        return (
+            time_budget is not None
+            and time.monotonic() - started > time_budget
+        )
+
+    def done() -> bool:
+        return (
+            stop_after is not None
+            and len(report.disagreements) >= stop_after
+        )
+
     def body() -> None:
+        from ..lang import atomic_spec
+
+        if use_programs:
+            # The deterministic canaries run first: they separate the
+            # verdict engines under each reachability mutation without
+            # relying on the random program mix to stumble on a case.
+            for cname, cprogram, cworkload in _canary_programs():
+                if over_time():
+                    return
+                report.instances += 1
+                try:
+                    found = check_verdict_engines(
+                        cprogram, atomic_spec(cprogram),
+                        workload=cworkload, budget=instance_budget(),
+                        meta={"program": cprogram.name,
+                              "workload": cworkload},
+                    )
+                except BudgetExhausted:
+                    report.exhausted += 1
+                    continue
+                report.checks += 1
+                if found:
+                    handle_found(found, f"fuzz_seed{seed}_{cname}")
+                if done():
+                    return
         for index in range(n):
-            if time_budget is not None and time.monotonic() - started > time_budget:
+            if over_time():
                 break
-            lts = _generate_instance(
+            lts, context = _generate_instance(
                 rng, index, max_states, tau_density, use_programs
             )
             if lts is None:
@@ -784,20 +1075,26 @@ def run_fuzz(
                 + len(SEEDED_RELATIONS) + len(laws.ALL_LAWS) + 2
             )
             if found:
-                report.disagreements.extend(found)
-                for disagreement in found[:1]:
-                    shrunk = _shrink_disagreement(disagreement)
-                    case = FuzzCase(
-                        name=f"fuzz_seed{seed}_case{index}",
-                        disagreement=disagreement,
-                        lts=shrunk,
+                handle_found(found, f"fuzz_seed{seed}_case{index}")
+            if context is not None and not done():
+                program, workload, program_seed = context
+                try:
+                    found = check_verdict_engines(
+                        program, atomic_spec(program), workload=workload,
+                        budget=instance_budget(),
+                        meta={"program_seed": program_seed,
+                              "workload": workload},
                     )
-                    if corpus_dir is not None and mutate is None:
-                        case.path = _write_case(case, corpus_dir)
-                    report.cases.append(case)
-                if progress is not None:
-                    progress(found[0].render())
-            if stop_after is not None and len(report.disagreements) >= stop_after:
+                except BudgetExhausted:
+                    report.exhausted += 1
+                    found = []
+                else:
+                    report.checks += 1
+                if found:
+                    handle_found(
+                        found, f"fuzz_seed{seed}_case{index}_verdict"
+                    )
+            if done():
                 break
 
     if mutate is not None:

@@ -42,7 +42,7 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from .metrics import peak_rss_kb
 
@@ -55,10 +55,14 @@ TRUE = "TRUE"
 FALSE = "FALSE"
 UNKNOWN = "UNKNOWN"
 
-#: CLI exit codes for the three verdicts, plus SIGINT.
+#: CLI exit codes for the three verdicts, plus SIGINT.  Exit 3 is the
+#: loud-failure code of ``lin --method both``: the two verdict engines
+#: decided and disagreed, which is never a property of the input --
+#: it is a bug in one of the engines.
 EXIT_TRUE = 0
 EXIT_FALSE = 1
 EXIT_UNKNOWN = 2
+EXIT_DISAGREEMENT = 3
 EXIT_INTERRUPTED = 130
 
 
@@ -67,6 +71,21 @@ def verdict_of(flag: Optional[bool]) -> str:
     if flag is None:
         return UNKNOWN
     return TRUE if flag else FALSE
+
+
+def combined_verdict(first: str, second: str) -> Tuple[str, bool]:
+    """Combine two engines' verdicts on the same instance.
+
+    Returns ``(verdict, disagree)``: a decided verdict wins over
+    ``UNKNOWN`` (a budget exhaustion in one engine is not a
+    disagreement), and two *decided but different* verdicts flag
+    ``disagree`` -- the ``lin --method both`` failure mode.
+    """
+    if first == UNKNOWN:
+        return second, False
+    if second == UNKNOWN:
+        return first, False
+    return first, first != second
 
 
 def exit_code_for(verdict: str) -> int:
@@ -104,7 +123,8 @@ class Exhaustion:
         Which limit was hit (one of :data:`ALL_REASONS`).
     phase:
         The pipeline stage that was running (``"explore"``, ``"spec"``,
-        ``"reduce"``, ``"refinement"``, ``"check"``, ``"divergence"``).
+        ``"reduce"``, ``"refinement"``, ``"check"``, ``"divergence"``,
+        ``"reachability"``).
     limit:
         Human-readable rendering of the limit (``"deadline=2.00s"``).
     progress:

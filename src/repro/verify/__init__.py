@@ -5,9 +5,17 @@
   divergence-sensitive)
 * :func:`check_lock_freedom_abstract` -- Theorem 5.8 (object vs
   abstract program, divergence-sensitive)
+* :func:`check_linearizability_reachability` -- the independent second
+  verdict engine (BEEH reduction to state reachability)
 """
 
 from .linearizability import LinearizabilityResult, check_linearizability
+from .reachability import (
+    ReachabilityResult,
+    ReachabilitySearch,
+    check_linearizability_reachability,
+    reachability_search,
+)
 from .lockfree import (
     AbstractLockFreedomResult,
     LockFreedomResult,
@@ -24,6 +32,10 @@ from .obstruction import (
 __all__ = [
     "LinearizabilityResult",
     "check_linearizability",
+    "ReachabilityResult",
+    "ReachabilitySearch",
+    "check_linearizability_reachability",
+    "reachability_search",
     "AbstractLockFreedomResult",
     "LockFreedomResult",
     "check_lock_freedom_abstract",

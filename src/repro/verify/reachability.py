@@ -1,0 +1,422 @@
+"""Linearizability via state reachability (the second verdict engine).
+
+Bouajjani, Emmi, Enea and Hamza ("On Reducing Linearizability to State
+Reachability") show that for a *fixed* specification, linearizability
+of every bounded history is a plain reachability question: compose the
+implementation with an instrumented specification monitor and ask
+whether a violation state is reachable.  This module is that reduction,
+built as a backend fully independent of the paper's quotient pipeline
+(:mod:`repro.verify.linearizability`): no partition refinement, no
+quotients, no specification LTS -- just the exploration core and a
+breadth-first product search.
+
+The monitor tracks, after each visible prefix, the set of *spec
+configurations* ``(abstract_state, pending/linearized statuses)`` that
+could justify the history so far:
+
+* on ``call(t, m, args)`` thread ``t`` becomes pending in every
+  configuration;
+* between visible actions the set is closed under *linearization
+  steps* -- any pending operation may atomically apply its sequential
+  method (collecting every nondeterministic outcome);
+* on ``ret(t, m, v)`` only configurations where ``t`` has linearized
+  ``m`` with result ``v`` survive, and ``t`` becomes idle again.
+
+The empty set is the violation state: no sequence of linearization
+points explains the observed history, so the history is not
+linearizable.  Conversely a non-empty set is a concrete witness
+assignment of linearization points, so the verdict is exact -- see
+docs/THEORY.md for the soundness argument and why, at equal client
+bounds, this engine must agree with the quotient/trace-refinement
+engine verdict-for-verdict (the cross-check behind ``lin --method
+both`` and the differential fuzz harness).
+
+The product search walks ``(implementation state, monitor set)`` pairs
+over the same :class:`~repro.core.lts.FrozenLTS` exploration core,
+with the antichain subsumption of :mod:`repro.core.traces`: a pair
+``(s, M)`` is pruned when some visited ``(s, M')`` has ``M' ⊆ M``,
+because monitor sets evolve monotonically (``M' ⊆ M`` implies
+``post(M') ⊆ post(M)`` for every suffix) and therefore every violation
+reachable from ``(s, M)`` is reachable from ``(s, M')`` as well.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..core.lts import TAU_ID, AnyLTS
+from ..lang import ClientConfig, ObjectProgram, SpecObject
+from ..lang.client import Workload
+from ..lang.state import ModelError
+from ..parallel import maybe_parallel_explore
+from ..util.budget import BudgetExhausted, Exhaustion, RunBudget, verdict_of
+from ..util.metrics import Stats
+
+#: Mutation hooks for the differential harness (see
+#: :mod:`repro.testing.differential`).  ``_DROP_MONITOR_TRANSITION``
+#: makes the monitor lose every linearization step of threads other
+#: than thread 1 (spurious violations on linearizable objects);
+#: ``_SKIP_VIOLATION_STATE`` makes the search treat the empty monitor
+#: set as a dead end instead of a violation (the engine can never
+#: report FALSE).  Both must stay ``True``/``False`` as below in
+#: production; the fuzz harness flips them to prove the cross-engine
+#: check catches whole-engine bugs.
+_DROP_MONITOR_TRANSITION = False
+_SKIP_VIOLATION_STATE = False
+
+#: One monitor configuration: ``(abstract_state, statuses)`` where
+#: ``statuses`` is a tid-sorted tuple of ``(tid, status)`` entries and
+#: idle threads are simply absent.  ``status`` is either
+#: ``("pend", method, args)`` -- called, not yet linearized -- or
+#: ``("lin", method, value)`` -- linearized, return pending.
+Config = Tuple[Hashable, Tuple[Tuple[int, Tuple[Any, ...]], ...]]
+
+#: A monitor state: the set of configurations justifying the history.
+MonitorSet = FrozenSet[Config]
+
+
+def _close(spec: SpecObject, configs: Set[Config]) -> MonitorSet:
+    """Close a configuration set under optional linearization steps."""
+    seen: Set[Config] = set(configs)
+    work: List[Config] = list(configs)
+    while work:
+        abstract, statuses = work.pop()
+        for index, (tid, status) in enumerate(statuses):
+            if status[0] != "pend":
+                continue
+            if _DROP_MONITOR_TRANSITION and tid != 1:
+                continue
+            _, mname, args = status
+            for new_abstract, value in spec.method(mname)(abstract, args):
+                entry = (tid, ("lin", mname, value))
+                successor = (
+                    new_abstract,
+                    statuses[:index] + (entry,) + statuses[index + 1:],
+                )
+                if successor not in seen:
+                    seen.add(successor)
+                    work.append(successor)
+    return frozenset(seen)
+
+
+def initial_monitor(spec: SpecObject) -> MonitorSet:
+    """The monitor state before any visible action (all threads idle)."""
+    return _close(spec, {(spec.initial, ())})
+
+
+def monitor_after_call(
+    spec: SpecObject, mset: MonitorSet, tid: int, mname: str,
+    args: Tuple[Any, ...],
+) -> MonitorSet:
+    """Thread ``tid`` invokes ``mname(args)`` in every configuration.
+
+    A configuration where ``tid`` is already busy cannot extend the
+    history (the specification's client never double-calls) and dies.
+    """
+    out: Set[Config] = set()
+    for abstract, statuses in mset:
+        if any(t == tid for t, _ in statuses):
+            continue
+        entry = (tid, ("pend", mname, args))
+        out.add((abstract, tuple(sorted(statuses + (entry,)))))
+    return _close(spec, out)
+
+
+def monitor_after_return(
+    spec: SpecObject, mset: MonitorSet, tid: int, mname: str, value: Any,
+) -> MonitorSet:
+    """Keep only configurations where ``tid`` linearized ``mname`` with
+    result ``value``; ``tid`` becomes idle in the survivors."""
+    out: Set[Config] = set()
+    for abstract, statuses in mset:
+        for index, (t, status) in enumerate(statuses):
+            if t != tid:
+                continue
+            if status[0] == "lin" and status[1] == mname and status[2] == value:
+                out.add((abstract, statuses[:index] + statuses[index + 1:]))
+            break
+    return _close(spec, out)
+
+
+def _parse_history_label(label: Hashable) -> Tuple[str, int, str, Any]:
+    if (
+        isinstance(label, tuple)
+        and len(label) == 4
+        and label[0] in ("call", "ret")
+    ):
+        return label  # type: ignore[return-value]
+    raise ModelError(
+        f"reachability engine needs call/ret history labels, got {label!r}"
+    )
+
+
+@dataclass
+class ReachabilitySearch:
+    """Raw outcome of the monitor-product reachability search."""
+
+    holds: bool
+    counterexample: Optional[List[Hashable]]
+    product_states: int
+    monitor_states: int
+
+
+def reachability_search(
+    impl: AnyLTS,
+    spec: SpecObject,
+    stats: Optional[Stats] = None,
+    budget: Optional[RunBudget] = None,
+) -> ReachabilitySearch:
+    """Decide linearizability of an explored object system by reachability.
+
+    ``impl`` must be an object-system LTS whose visible labels are the
+    ``("call", t, m, args)`` / ``("ret", t, m, value)`` history tuples
+    the most-general client produces (:func:`repro.lang.explore`);
+    silent steps keep the monitor unchanged.  Returns whether no
+    violation (empty monitor set) is reachable, plus a violating visible
+    history when one is.
+
+    ``stats`` (optional) times the search under a ``reachability`` stage
+    and records product/monitor state counts; ``budget`` (optional) is
+    checked once per dequeued pair under phase ``"reachability"``.
+    """
+    if stats is None:
+        return _search(impl, spec, budget)
+    with stats.stage("reachability"):
+        result = _search(impl, spec, budget)
+        stats.count("product_states", result.product_states)
+        stats.count("monitor_states", result.monitor_states)
+    return result
+
+
+def _search(
+    impl: AnyLTS, spec: SpecObject, budget: Optional[RunBudget]
+) -> ReachabilitySearch:
+    init_mset = initial_monitor(spec)
+    monitor_sets: Set[MonitorSet] = {init_mset}
+    start = (impl.init, init_mset)
+    # Antichain of visited monitor sets per implementation state.
+    visited: Dict[int, List[MonitorSet]] = {impl.init: [init_mset]}
+    parents: Dict[
+        Tuple[int, MonitorSet],
+        Tuple[Optional[Tuple[int, MonitorSet]], Optional[Hashable]],
+    ] = {start: (None, None)}
+    queue: deque = deque([start])
+    # The monitor transition function only depends on (mset, action), so
+    # product states sharing a monitor set share the computed successor.
+    post_cache: Dict[Tuple[MonitorSet, int], MonitorSet] = {}
+
+    def subsumed(state: int, mset: MonitorSet) -> bool:
+        for existing in visited.get(state, ()):
+            if existing <= mset:
+                return True
+        return False
+
+    def record(state: int, mset: MonitorSet) -> None:
+        chain = visited.setdefault(state, [])
+        chain[:] = [existing for existing in chain if not (mset <= existing)]
+        chain.append(mset)
+
+    while queue:
+        if budget is not None:
+            budget.check(
+                "reachability",
+                pairs=len(parents),
+                queued=len(queue),
+                monitors=len(monitor_sets),
+            )
+        node = queue.popleft()
+        state, mset = node
+        for aid, dst in impl.successors(state):
+            if aid == TAU_ID:
+                if subsumed(dst, mset):
+                    continue
+                record(dst, mset)
+                succ = (dst, mset)
+                parents[succ] = (node, None)
+                queue.append(succ)
+                continue
+            label = impl.action_labels[aid]
+            key = (mset, aid)
+            new_mset = post_cache.get(key)
+            if new_mset is None:
+                kind, tid, mname, payload = _parse_history_label(label)
+                if kind == "call":
+                    new_mset = monitor_after_call(spec, mset, tid, mname, payload)
+                else:
+                    new_mset = monitor_after_return(
+                        spec, mset, tid, mname, payload
+                    )
+                post_cache[key] = new_mset
+                monitor_sets.add(new_mset)
+            if not new_mset:
+                if _SKIP_VIOLATION_STATE:
+                    continue
+                # Violation: reconstruct the offending visible history.
+                trace: List[Hashable] = [label]
+                cursor: Optional[Tuple[int, MonitorSet]] = node
+                while cursor is not None:
+                    parent, step_label = parents[cursor]
+                    if step_label is not None:
+                        trace.append(step_label)
+                    cursor = parent
+                trace.reverse()
+                return ReachabilitySearch(
+                    holds=False,
+                    counterexample=trace,
+                    product_states=len(parents),
+                    monitor_states=len(monitor_sets),
+                )
+            if subsumed(dst, new_mset):
+                continue
+            record(dst, new_mset)
+            succ = (dst, new_mset)
+            parents[succ] = (node, label)
+            queue.append(succ)
+    return ReachabilitySearch(
+        holds=True,
+        counterexample=None,
+        product_states=len(parents),
+        monitor_states=len(monitor_sets),
+    )
+
+
+@dataclass
+class ReachabilityResult:
+    """Outcome of the BEEH reachability pipeline (mirrors
+    :class:`~repro.verify.linearizability.LinearizabilityResult`).
+
+    ``counterexample`` is a violating visible history (call/ret labels)
+    -- a trace of the implementation that no assignment of linearization
+    points can explain.  ``linearizable`` is three-valued exactly like
+    the quotient engine's: ``None`` means a budget ran out first and
+    ``exhaustion`` says where.
+    """
+
+    object_name: str
+    linearizable: Optional[bool]
+    counterexample: Optional[List[Hashable]]
+    impl_states: int
+    product_states: int
+    monitor_states: int
+    num_threads: int
+    ops_per_thread: int
+    explore_seconds: float
+    check_seconds: float
+    #: The metrics sink the pipeline recorded into (None when disabled).
+    stats: Optional[Stats] = None
+    #: Why the pipeline stopped early (None when it completed).
+    exhaustion: Optional[Exhaustion] = None
+    #: Which verdict engine produced this result.
+    method: str = "reachability"
+
+    @property
+    def verdict(self) -> str:
+        """``TRUE`` / ``FALSE`` / ``UNKNOWN``."""
+        return verdict_of(self.linearizable)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.explore_seconds + self.check_seconds
+
+    def render_counterexample(self) -> str:
+        if self.counterexample is None:
+            return "<linearizable: no counterexample>"
+        lines = ["<initial state>"]
+        for label in self.counterexample:
+            lines.append(f'  "{label}"')
+        lines.append("  -- no linearization explains the last action --")
+        return "\n".join(lines)
+
+
+def check_linearizability_reachability(
+    program: ObjectProgram,
+    spec: SpecObject,
+    num_threads: int = 2,
+    ops_per_thread: int = 2,
+    workload: Optional[Workload] = None,
+    max_states: Optional[int] = None,
+    stats: Optional[Stats] = None,
+    budget: Optional[RunBudget] = None,
+    workers: int = 0,
+    fault_plan: Optional[Any] = None,
+    shard_states: Optional[int] = None,
+) -> ReachabilityResult:
+    """Run the full BEEH reachability pipeline for one object.
+
+    Explores the object system under the most-general client (the same
+    exploration core as the quotient pipeline, including ``workers``-way
+    sharded exploration via :mod:`repro.parallel`), then searches the
+    implementation x specification-monitor product for a reachable
+    violation.  At equal ``(num_threads, ops_per_thread, workload)``
+    bounds the verdict provably matches
+    :func:`~repro.verify.linearizability.check_linearizability` -- the
+    two engines share nothing past exploration, which is what makes the
+    agreement a meaningful cross-check (``lin --method both``).
+
+    With a :class:`~repro.util.metrics.Stats` sink the pipeline records
+    ``explore`` and ``reachability`` stages plus product/monitor state
+    counters.  With a :class:`~repro.util.budget.RunBudget` it is
+    governed end to end: exhaustion in any phase yields a result with
+    ``linearizable=None`` (verdict ``UNKNOWN``) carrying the exhaustion
+    record -- it never raises.
+    """
+    if workload is None:
+        raise ValueError("a workload (method/argument universe) is required")
+    config = ClientConfig(
+        num_threads=num_threads,
+        ops_per_thread=ops_per_thread,
+        workload=workload,
+        max_states=max_states,
+    )
+    impl_states = 0
+    t0 = t1 = time.perf_counter()
+    try:
+        impl = maybe_parallel_explore(
+            program, config, workers=workers, fault_plan=fault_plan,
+            shard_states=shard_states, stats=stats, budget=budget,
+        )
+        impl_states = impl.num_states
+        t1 = time.perf_counter()
+        search = reachability_search(impl, spec, stats=stats, budget=budget)
+        t2 = time.perf_counter()
+    except BudgetExhausted as exc:
+        now = time.perf_counter()
+        return ReachabilityResult(
+            object_name=program.name,
+            linearizable=None,
+            counterexample=None,
+            impl_states=impl_states,
+            product_states=0,
+            monitor_states=0,
+            num_threads=num_threads,
+            ops_per_thread=ops_per_thread,
+            explore_seconds=(t1 - t0) if t1 > t0 else now - t0,
+            check_seconds=(now - t1) if t1 > t0 else 0.0,
+            stats=stats,
+            exhaustion=exc.exhaustion,
+        )
+    return ReachabilityResult(
+        object_name=program.name,
+        linearizable=search.holds,
+        counterexample=search.counterexample,
+        impl_states=impl.num_states,
+        product_states=search.product_states,
+        monitor_states=search.monitor_states,
+        num_threads=num_threads,
+        ops_per_thread=ops_per_thread,
+        explore_seconds=t1 - t0,
+        check_seconds=t2 - t1,
+        stats=stats,
+    )

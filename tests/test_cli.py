@@ -340,6 +340,74 @@ def test_lin_degrade_rung_skips_stale_spec_resume(tmp_path, capsys):
     assert "degraded verdict: TRUE" in out
 
 
+def test_lin_method_reachability_true_exits_zero(capsys):
+    code = main(["lin", "newcas", "--threads", "2", "--ops", "1",
+                 "--method", "reachability"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "(reachability)" in out
+    assert "linearizable: TRUE" in out
+    assert "product" in out
+
+
+def test_lin_method_reachability_false_exits_one(capsys):
+    code = main(["lin", "hm_list_buggy", "--threads", "2", "--ops", "2",
+                 "--method", "reachability"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "linearizable: FALSE" in out
+    assert "no linearization" in out
+
+
+def test_lin_method_both_agree_exits_zero(capsys):
+    code = main(["lin", "newcas", "--threads", "2", "--ops", "1",
+                 "--method", "both"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "[quotient]" in out
+    assert "[reachability]" in out
+    assert "both engines agree" in out
+
+
+def test_lin_method_both_disagreement_exits_three(capsys, monkeypatch):
+    # Break the monitor so reachability wrongly reports TRUE on the
+    # buggy list while the quotient engine still says FALSE: the CLI
+    # must refuse to pick a winner and exit with the dedicated code.
+    from repro.util.budget import EXIT_DISAGREEMENT
+    from repro.verify import reachability
+
+    monkeypatch.setattr(reachability, "_SKIP_VIOLATION_STATE", True)
+    code = main(["lin", "hm_list_buggy", "--threads", "2", "--ops", "2",
+                 "--method", "both"])
+    out = capsys.readouterr().out
+    assert code == EXIT_DISAGREEMENT == 3
+    assert "ERROR" in out and "disagree" in out
+
+
+def test_fuzz_vacuous_run_exits_nonzero(capsys):
+    # n=0 with the program mix (and hence the canaries) disabled checks
+    # nothing at all; that must never count as a pass, least of all
+    # with --expect-bug.
+    code = main(["fuzz", "--n", "0", "--no-programs"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "vacuous" in out
+
+    code = main(["fuzz", "--n", "0", "--no-programs", "--expect-bug",
+                 "--mutate", "skip-violation-state"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "vacuous" in out
+
+
+def test_fuzz_monitor_mutation_is_caught(capsys):
+    code = main(["fuzz", "--seed", "0", "--n", "0",
+                 "--mutate", "drop-monitor-transition", "--expect-bug"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "verdict:lin-engines" in out
+
+
 def test_keyboard_interrupt_in_handler_exits_130(capsys, monkeypatch):
     from repro import cli
 
@@ -355,8 +423,11 @@ def test_fuzz_instance_deadline_counts_exhausted(capsys):
     code = main(["fuzz", "--seed", "3", "--n", "10",
                  "--instance-deadline", "0.0001"])
     out = capsys.readouterr().out
-    assert code == 0
-    assert "exhausted=" in out
+    # Every instance hits the deadline, so nothing was actually
+    # checked -- that is a vacuous run, not a pass.
+    assert code == 1
+    assert "exhausted=12" in out
+    assert "vacuous" in out
 
 
 def test_fuzz_drop_budget_checks_mutation_is_caught(capsys):

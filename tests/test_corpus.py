@@ -21,8 +21,18 @@ from repro.core.branching import (
 )
 from repro.core.lts import ensure_frozen
 from repro.core.partition import SignatureInterner, refine_with_status, same_partition
-from repro.testing import check_instance
+from repro.lang import queue_spec, register_spec, set_spec, spec_lts, stack_spec
+from repro.testing import check_instance, quotient_refinement_verdict
 from repro.testing.differential import ENGINE_PARTITIONS
+from repro.verify import reachability_search
+
+#: Spec factories a verdict corpus case may name in its ``.meta.json``.
+SPEC_BUILDERS = {
+    "queue": queue_spec,
+    "stack": stack_spec,
+    "set": set_spec,
+    "register": register_spec,
+}
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
 CASES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.aut")))
@@ -75,6 +85,33 @@ def test_corpus_case_expected_verdicts_hold(path):
             f"({expectation['left']}, {expectation['right']}) expected "
             f"{expectation['equivalent']}, engine says {equivalent}"
         )
+
+
+@pytest.mark.parametrize(
+    "path", CASES, ids=[os.path.basename(p) for p in CASES]
+)
+def test_corpus_verdict_cases_replay_on_both_engines(path):
+    """Linearizability corpus cases (``kind: verdict``) must keep their
+    expected verdict under *both* verdict engines: the quotient/trace-
+    refinement pipeline and the BEEH reachability backend."""
+    lts, meta = _load(path)
+    verdict = meta.get("verdict")
+    if verdict is None:
+        pytest.skip("not a verdict case")
+    spec = SPEC_BUILDERS[verdict["spec"]]()
+    workload = [(m, tuple(args)) for m, args in verdict["workload"]]
+    spec_system = spec_lts(
+        spec, verdict["num_threads"], verdict["ops_per_thread"], workload
+    )
+    search = reachability_search(lts, spec)
+    reach = "TRUE" if search.holds else "FALSE"
+    quotient = (
+        "TRUE" if quotient_refinement_verdict(lts, spec_system) else "FALSE"
+    )
+    assert reach == quotient == verdict["expect"], (
+        f"{os.path.basename(path)}: expected {verdict['expect']}, "
+        f"reachability says {reach}, quotient says {quotient}"
+    )
 
 
 @pytest.mark.parametrize("divergence", [False, True], ids=["plain", "div"])

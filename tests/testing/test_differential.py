@@ -18,6 +18,7 @@ from repro.testing import (
     check_instance,
     check_seeded_refinement,
     check_trace_refinement,
+    check_verdict_engines,
     parity_seed,
     run_fuzz,
     shrink_lts,
@@ -53,7 +54,9 @@ def test_parity_seed_and_seeded_check_clean():
 
 def test_clean_fuzz_run_has_no_disagreements():
     report = run_fuzz(seed=0, n=60)
-    assert report.instances + report.skipped == 60
+    # The two verdict-engine canaries run before the n requested
+    # instances, so they show up in the instance count.
+    assert report.instances + report.skipped == 60 + 2
     assert report.disagreements == []
     assert report.checks > 0
     assert "disagreements=0" in report.render()
@@ -89,6 +92,52 @@ def test_splitter_mutations_are_caught_by_engine_parity(mutation):
     report = run_fuzz(seed=0, n=100, mutate=mutation)
     assert report.disagreements
     assert "engine" in {d.kind for d in report.disagreements}
+
+
+def test_check_verdict_engines_clean_on_canaries():
+    # The canary programs are the deterministic fixtures the fuzz loop
+    # runs first; a healthy engine pair must agree on both.
+    from repro.lang import atomic_spec
+
+    for name, program, workload in differential._canary_programs():
+        disagreements = check_verdict_engines(
+            program, atomic_spec(program), workload=workload
+        )
+        assert disagreements == [], (name, [d.render() for d in disagreements])
+
+
+@pytest.mark.parametrize(
+    "mutation",
+    ["drop-monitor-transition", "skip-violation-state"],
+)
+def test_monitor_mutations_are_caught_by_canaries_alone(mutation):
+    # n=0 requests no random instances, so any catch must come from the
+    # canary programs -- each mutation has a canary built to trip it.
+    report = run_fuzz(seed=0, n=0, mutate=mutation)
+    assert report.disagreements, f"canaries failed to catch {mutation}"
+    assert {d.kind for d in report.disagreements} == {"verdict"}
+
+
+def test_verdict_disagreements_carry_replay_and_meta(tmp_path):
+    # Inject the monitor mutation *around* a plain run so the corpus
+    # writer path (mutate=None) is exercised for verdict cases too.
+    corpus = tmp_path / "corpus"
+    with MUTATIONS["skip-violation-state"]():
+        report = run_fuzz(seed=0, n=0, corpus_dir=str(corpus), stop_after=1)
+        assert report.disagreements
+        found = report.disagreements[0]
+        case = report.cases[0]
+        # Shrinking preserved the failure: while the mutation is still
+        # active the replay closure flags the shrunk instance.
+        assert found.replay is not None and found.replay(case.lts)
+    assert found.kind == "verdict"
+    assert case.path is not None and os.path.exists(case.path)
+    meta_path = case.path.replace(".aut", ".meta.json")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    assert meta["kind"] == "verdict"
+    assert meta["program"] in ("canary_flag", "canary_blink")
+    assert meta["workload"]
 
 
 def test_unknown_mutation_rejected():
@@ -160,8 +209,13 @@ def test_generate_instance_mix_is_deterministic():
         differential._generate_instance(random.Random(1), i, 6, 0.35, True)
         for i in range(12)
     ]
-    for a, b in zip(first, second):
+    for (a, a_ctx), (b, b_ctx) in zip(first, second):
         assert (a is None) == (b is None)
+        assert (a_ctx is None) == (b_ctx is None)
         if a is not None:
             assert a.num_states == b.num_states
             assert list(a.transitions()) == list(b.transitions())
+        if a_ctx is not None:
+            # same program seed and workload on both runs
+            assert a_ctx[2] == b_ctx[2]
+            assert a_ctx[1] == b_ctx[1]

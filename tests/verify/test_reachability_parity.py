@@ -1,0 +1,57 @@
+"""Registry-wide verdict parity: reachability engine == quotient engine.
+
+The two linearizability backends share nothing past the exploration
+core -- one refines branching-bisimulation quotients (Theorem 5.3), the
+other searches the implementation x specification-monitor product (the
+BEEH reduction) -- so at identical client bounds their verdicts must
+coincide on every object in the registry.  A disagreement on any object
+is an engine bug; the per-object parametrized IDs name the culprit.
+
+Bounds are 2x2 where that completes quickly and 2x1 for the heavyweight
+list objects (their 2x2 parity is exercised by the benchmark smoke and
+the nightly lane instead).
+"""
+
+import pytest
+
+from repro.objects import BENCHMARKS, get
+from repro.verify import check_linearizability, check_linearizability_reachability
+
+#: (threads, ops) per object; default 2x2, heavy objects at 2x1.
+_SMALL_BOUNDS = {
+    "dglm_queue": (2, 1),
+    "hm_list": (2, 1),
+    "lazy_list": (2, 1),
+    "ms_queue": (2, 1),
+    "optimistic_list": (2, 1),
+}
+
+CASES = [
+    (key, *_SMALL_BOUNDS.get(key, (2, 2))) for key in sorted(BENCHMARKS)
+]
+
+
+@pytest.mark.parametrize(
+    "key,threads,ops", CASES, ids=[f"{k}_{t}x{o}" for k, t, o in CASES]
+)
+def test_verdict_engines_agree(key, threads, ops):
+    bench = get(key)
+    workload = bench.default_workload()
+    quotient = check_linearizability(
+        bench.build(threads), bench.spec(),
+        num_threads=threads, ops_per_thread=ops, workload=workload,
+    )
+    reach = check_linearizability_reachability(
+        bench.build(threads), bench.spec(),
+        num_threads=threads, ops_per_thread=ops, workload=workload,
+    )
+    assert quotient.verdict in ("TRUE", "FALSE")
+    assert reach.verdict == quotient.verdict, (
+        f"{key} at {threads}x{ops}: quotient says {quotient.verdict}, "
+        f"reachability says {reach.verdict} -- an engine bug"
+    )
+    # The registry records the expected ground truth; both engines must
+    # also match it, not merely each other.
+    expected = "TRUE" if bench.expect_linearizable else "FALSE"
+    if (threads, ops) == (2, 2) or bench.expect_linearizable:
+        assert reach.verdict == expected
