@@ -30,6 +30,7 @@ _REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 PIPELINE_JSON = _REPO_ROOT / "BENCH_pipeline.json"
 REFINEMENT_JSON = _REPO_ROOT / "BENCH_refinement.json"
 REACHABILITY_JSON = _REPO_ROOT / "BENCH_reachability.json"
+ONTHEFLY_JSON = _REPO_ROOT / "BENCH_onthefly.json"
 
 #: Named per-bench metric sinks, aggregated at session end.
 _PIPELINE_SINKS = {}
@@ -39,6 +40,9 @@ _REFINEMENT_RESULTS = {}
 
 #: Per-case verdict-engine comparison records (quotient vs reachability).
 _REACHABILITY_RESULTS = {}
+
+#: Per-case on-the-fly vs full-exploration comparison records.
+_ONTHEFLY_RESULTS = {}
 
 
 @pytest.fixture(scope="session")
@@ -108,6 +112,21 @@ def reachability_results():
     return record
 
 
+@pytest.fixture(scope="session")
+def onthefly_results():
+    """Recorder for on-the-fly vs full-exploration verdict records.
+
+    ``onthefly_results("hm_list_buggy 2x2", {...})`` stores one
+    JSON-serialisable record per case.  At session end the records are
+    merged into ``BENCH_onthefly.json`` at the repo root.
+    """
+
+    def record(name: str, payload: dict) -> None:
+        _ONTHEFLY_RESULTS[name] = payload
+
+    return record
+
+
 def _merge_json(path, schema, key, fresh):
     payload = {"schema": schema, "scale": SCALE, key: {}}
     if path.exists():
@@ -142,4 +161,11 @@ def pytest_sessionfinish(session, exitstatus):
             "repro.bench-reachability/v1",
             "cases",
             dict(sorted(_REACHABILITY_RESULTS.items())),
+        )
+    if _ONTHEFLY_RESULTS:
+        _merge_json(
+            ONTHEFLY_JSON,
+            "repro.bench-onthefly/v1",
+            "cases",
+            dict(sorted(_ONTHEFLY_RESULTS.items())),
         )

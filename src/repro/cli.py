@@ -69,7 +69,7 @@ from .core.aut import read_aut, write_aut
 from .lang import ClientConfig, explore
 from .lang.checkpoint import CheckpointSink, load_checkpoint
 from .objects import BENCHMARKS, get
-from .parallel import maybe_parallel_explore
+from .parallel import STREAMING_SERIAL_REASON, maybe_parallel_explore
 from .util import Stats, render_table, stage
 from .util.budget import (
     EXIT_DISAGREEMENT,
@@ -84,6 +84,7 @@ from .util.budget import (
 )
 from .verify import (
     check_linearizability,
+    check_linearizability_both,
     check_linearizability_reachability,
     check_lock_freedom_auto,
     check_obstruction_freedom,
@@ -318,8 +319,13 @@ def _print_lin(result, label: str = "linearizable") -> None:
     if result.exhaustion is not None:
         _report_exhaustion(label, result)
         return
-    print(f"states {result.impl_states} -> quotient "
-          f"{result.impl_quotient_states} ({result.reduction_factor:.1f}x)")
+    if getattr(result, "early_exit", False):
+        print(f"on-the-fly early exit: mismatch after expanding "
+              f"{result.states_expanded} states "
+              f"({result.impl_states} interned, no quotient built)")
+    else:
+        print(f"states {result.impl_states} -> quotient "
+              f"{result.impl_quotient_states} ({result.reduction_factor:.1f}x)")
     print(f"{label}: {result.verdict}  ({result.total_seconds:.2f}s)")
     if result.linearizable is False:
         print(result.render_counterexample())
@@ -329,6 +335,9 @@ def _print_reach(result, label: str = "linearizable") -> None:
     if result.exhaustion is not None:
         _report_exhaustion(label, result)
         return
+    if getattr(result, "on_the_fly", False):
+        print(f"on-the-fly: expanded {result.states_expanded} of "
+              f"{result.impl_states} interned states")
     print(f"states {result.impl_states} -> product {result.product_states} "
           f"({result.monitor_states} monitor sets)")
     print(f"{label}: {result.verdict}  ({result.total_seconds:.2f}s)")
@@ -390,6 +399,16 @@ def cmd_lin(args) -> int:
     spec_resume = (
         load_checkpoint(args.spec_resume) if args.spec_resume else None
     )
+    on_the_fly = getattr(args, "on_the_fly", False)
+    if on_the_fly and args.method == "both":
+        # The cross-check's whole point is two engines over one shared
+        # full exploration; an early-exit lane would leave nothing for
+        # the second engine to check against.
+        print("note: --on-the-fly is disabled with --method both "
+              "(the cross-check shares one full exploration)")
+        on_the_fly = False
+    if on_the_fly and args.workers:
+        print(f"note: --workers ignored: {STREAMING_SERIAL_REASON}")
 
     def attempt_quotient(threads: int, ops: int, values: int,
                          force_reduce: bool):
@@ -414,6 +433,7 @@ def cmd_lin(args) -> int:
             spec_checkpoint=spec_sink if original else None,
             spec_resume=spec_resume if original else None,
             engine=args.engine,
+            on_the_fly=on_the_fly,
         )
 
     def attempt_reach(threads: int, ops: int, values: int):
@@ -426,17 +446,44 @@ def cmd_lin(args) -> int:
             budget=budget,
             workers=args.workers, fault_plan=args.fault_plan,
             shard_states=args.shard_states,
+            on_the_fly=on_the_fly,
         )
+
+    def attempt_both(threads: int, ops: int, values: int,
+                     force_reduce: bool):
+        # One shared exploration feeds both engines (the historical
+        # double exploration is gone); spec checkpoints stay pinned to
+        # the original configuration, same as attempt_quotient.
+        original = (threads, ops, values) == (
+            args.threads, args.ops, args.values
+        )
+        quotient, reachability = check_linearizability_both(
+            bench.build(threads), bench.spec(),
+            num_threads=threads, ops_per_thread=ops,
+            workload=bench.default_workload(values),
+            max_states=args.max_states,
+            stats_quotient=sink(
+                f"linearizability t={threads} ops={ops} v={values}"
+            ),
+            stats_reachability=sink(
+                f"reachability t={threads} ops={ops} v={values}"
+            ),
+            reduce=force_reduce or not args.no_reduce,
+            budget=budget,
+            workers=args.workers, fault_plan=args.fault_plan,
+            shard_states=args.shard_states,
+            spec_checkpoint=spec_sink if original else None,
+            spec_resume=spec_resume if original else None,
+            engine=args.engine,
+        )
+        return _BothResult(quotient, reachability)
 
     def attempt(threads: int, ops: int, values: int, force_reduce: bool):
         if args.method == "quotient":
             return attempt_quotient(threads, ops, values, force_reduce)
         if args.method == "reachability":
             return attempt_reach(threads, ops, values)
-        return _BothResult(
-            attempt_quotient(threads, ops, values, force_reduce),
-            attempt_reach(threads, ops, values),
-        )
+        return attempt_both(threads, ops, values, force_reduce)
 
     printer = {
         "quotient": _print_lin,
@@ -767,6 +814,15 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument("--spec-resume", metavar="PATH", default=None,
                              help="resume the specification-LTS generation "
                                   "from a checkpoint instead of recomputing")
+            sub.add_argument(
+                "--on-the-fly",
+                action=argparse.BooleanOptionalAction,
+                default=False,
+                help="fuse the verdict engine with exploration: violations "
+                     "are reported after expanding only the states the "
+                     "search touched (same verdicts; ignored with "
+                     "--method both, degrades --workers to serial)",
+            )
 
     for name, help_text in (
         ("explore", "export the object system as .aut"),

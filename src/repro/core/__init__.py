@@ -58,6 +58,7 @@ from .divergence import (
     find_divergence_lasso,
     tau_cycle_states,
 )
+from .onthefly import PartialProductChecker
 from .traces import (
     RefinementResult,
     language_partition,
@@ -126,6 +127,7 @@ __all__ = [
     "divergent_states",
     "find_divergence_lasso",
     "tau_cycle_states",
+    "PartialProductChecker",
     "RefinementResult",
     "language_partition",
     "state_tau_closures",

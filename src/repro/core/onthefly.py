@@ -1,0 +1,201 @@
+"""Incremental weak-trace mismatch detection over a partial product.
+
+The quotient pipeline's early-exit lane: while the streaming explorer is
+still producing the implementation system, this checker maintains, per
+discovered implementation state, the *union* of tau-closed
+specification-state macro sets reachable by any streamed path to it --
+an incremental subset construction over the partial impl x spec product.
+
+Soundness of the early FALSE (argued in THEORY.md): macros only grow,
+and re-propagation over every previously fed edge keeps each state's
+union complete for the fed prefix of the system.  When a fed visible
+edge ``src --a--> dst`` finds ``post(union[src], a)`` empty, then for
+*every* streamed path to ``src`` with visible word ``w`` the exact macro
+``M(w)`` is a subset of ``union[src]``, so ``post(M(w), a)`` is empty
+too: ``w . a`` is an implementation trace the specification cannot
+produce, and the parent-pointer path yields a concrete witness.
+
+The union is *incomplete* in the other direction -- merging macros can
+mask a mismatch that the exact per-path subset construction would find
+-- so a drained stream without a mismatch decides nothing: the caller
+falls back to the full explore + splitter + antichain-refinement
+pipeline for TRUE verdicts.  The lane is an accelerator for shallow
+violations, never a second decision procedure.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from .lts import TAU, AnyLTS
+from .traces import state_tau_closures
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..util.budget import RunBudget
+
+
+class PartialProductChecker:
+    """Feed streamed ``(src, label, dst)`` events; catch shallow mismatches.
+
+    Usage::
+
+        checker = PartialProductChecker(spec_system)
+        checker.start(explorer.init_id)
+        while (events := explorer.expand_next()) is not None:
+            if checker.feed_events(events):
+                return checker.counterexample  # sound FALSE witness
+
+    ``budget``, when given, is checked during macro re-propagation under
+    the interleaved phase ``"explore+check"`` (see ``repro.util.budget``).
+    """
+
+    def __init__(
+        self, spec: AnyLTS, budget: Optional["RunBudget"] = None
+    ) -> None:
+        self.budget = budget
+        self._closures = state_tau_closures(spec)
+        self._spec_init = spec.init
+        # Spec visible steps indexed by (spec state, action label); the
+        # stream carries labels, not ids, so labels are the join key.
+        self._spec_vis: Dict[Tuple[int, Hashable], List[int]] = {}
+        labels = spec.action_labels
+        for src, aid, dst in spec.transitions():
+            label = labels[aid]
+            if label == TAU:
+                continue
+            self._spec_vis.setdefault((src, label), []).append(dst)
+
+        #: Per impl state: union of spec macro sets over all fed paths.
+        self._macros: Dict[int, Set[int]] = {}
+        #: Fed out-edges per impl state (for re-propagation on growth).
+        self._out: Dict[int, List[Tuple[Hashable, int]]] = {}
+        #: First-discovery parent pointers for witness reconstruction.
+        self._parent: Dict[int, Tuple[int, Optional[Hashable]]] = {}
+
+        self.mismatched = False
+        self.counterexample: Optional[List[Hashable]] = None
+        self.events_fed = 0
+
+    # -- stats ---------------------------------------------------------
+
+    @property
+    def macro_states(self) -> int:
+        """Number of impl states carrying a macro set."""
+        return len(self._macros)
+
+    @property
+    def macro_size(self) -> int:
+        """Total spec states across all macro sets (memory proxy)."""
+        return sum(len(macro) for macro in self._macros.values())
+
+    # -- feeding -------------------------------------------------------
+
+    def start(self, init_sid: int) -> None:
+        """Seed the initial impl state with the spec's initial macro."""
+        self._macros[init_sid] = set(self._closures[self._spec_init])
+
+    def feed_events(self, events: Iterable[Tuple[int, Hashable, int]]) -> bool:
+        for src, label, dst in events:
+            if self.feed(src, label, dst):
+                return True
+        return False
+
+    def feed(self, src: int, label: Hashable, dst: int) -> bool:
+        """Ingest one streamed edge; ``True`` iff a mismatch is decided."""
+        if self.mismatched:
+            return True
+        macro = self._macros.get(src)
+        if macro is None:
+            raise ValueError(f"event source {src} streamed before discovery")
+        is_tau = label == TAU
+        if dst not in self._parent and dst not in self._macros:
+            self._parent[dst] = (src, None if is_tau else label)
+        self._out.setdefault(src, []).append((label, dst))
+        if is_tau:
+            self._propagate(dst, macro)
+        else:
+            image = self._post(macro, label)
+            if not image:
+                self.mismatched = True
+                self.counterexample = self._trace_to(src) + [label]
+                return True
+            self._propagate(dst, image)
+        self.events_fed += 1
+        return False
+
+    # -- internals -----------------------------------------------------
+
+    def _post(self, states: Iterable[int], label: Hashable) -> Set[int]:
+        acc: Set[int] = set()
+        closures, spec_vis = self._closures, self._spec_vis
+        for q in states:
+            for dst in spec_vis.get((q, label), ()):
+                acc |= closures[dst]
+        return acc
+
+    def _propagate(self, state: int, image: Iterable[int]) -> None:
+        """Merge ``image`` into ``state``'s macro; re-propagate growth.
+
+        The worklist carries only the *delta* per state; a visible
+        out-edge whose delta image is empty is skipped (its union
+        contribution was already non-empty when the edge was fed, so no
+        mismatch can hide there).
+        """
+        work: List[Tuple[int, Tuple[int, ...]]] = []
+        self._absorb(state, image, work)
+        budget, out = self.budget, self._out
+        while work:
+            if budget is not None:
+                budget.check(
+                    "explore+check",
+                    macros=len(self._macros),
+                    worklist=len(work),
+                )
+            u, delta = work.pop()
+            for label, v in out.get(u, ()):
+                if label == TAU:
+                    self._absorb(v, delta, work)
+                else:
+                    d = self._post(delta, label)
+                    if d:
+                        self._absorb(v, d, work)
+
+    def _absorb(
+        self,
+        state: int,
+        image: Iterable[int],
+        work: List[Tuple[int, Tuple[int, ...]]],
+    ) -> None:
+        macro = self._macros.get(state)
+        if macro is None:
+            fresh = tuple(image)
+            self._macros[state] = set(fresh)
+            work.append((state, fresh))
+            return
+        fresh = tuple(q for q in image if q not in macro)
+        if fresh:
+            macro.update(fresh)
+            work.append((state, fresh))
+
+    def _trace_to(self, state: int) -> List[Hashable]:
+        """Visible labels along the first-discovery path to ``state``."""
+        trace: List[Hashable] = []
+        cursor = state
+        while True:
+            step = self._parent.get(cursor)
+            if step is None:
+                break
+            cursor, label = step
+            if label is not None:
+                trace.append(label)
+        trace.reverse()
+        return trace

@@ -48,6 +48,7 @@ from .client import (
     DEFAULT_MAX_STATES,
     ClientConfig,
     StateExplosion,
+    StreamingExplorer,
     explore,
     uniform_workload,
 )
@@ -111,6 +112,7 @@ __all__ = [
     "ClientConfig",
     "DEFAULT_MAX_STATES",
     "StateExplosion",
+    "StreamingExplorer",
     "explore",
     "uniform_workload",
     "SpecObject",

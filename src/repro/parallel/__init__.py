@@ -11,6 +11,7 @@ Public surface:
 from .faults import Fault, FaultPlan, FaultPlanError
 from .protocol import FrameDecoder, ProtocolError, read_frame, write_frame
 from .supervisor import (
+    STREAMING_SERIAL_REASON,
     ParallelConfig,
     Supervisor,
     maybe_parallel_explore,
@@ -25,6 +26,7 @@ __all__ = [
     "ProtocolError",
     "read_frame",
     "write_frame",
+    "STREAMING_SERIAL_REASON",
     "ParallelConfig",
     "Supervisor",
     "maybe_parallel_explore",

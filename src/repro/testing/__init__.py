@@ -44,6 +44,7 @@ from .differential import (
     check_seeded_refinement,
     check_trace_refinement,
     check_verdict_engines,
+    onthefly_disagreements,
     parity_seed,
     quotient_refinement_verdict,
     run_fuzz,
@@ -84,6 +85,7 @@ __all__ = [
     "check_seeded_refinement",
     "check_trace_refinement",
     "check_verdict_engines",
+    "onthefly_disagreements",
     "parity_seed",
     "quotient_refinement_verdict",
     "run_fuzz",

@@ -443,6 +443,130 @@ def verdict_engine_disagreements(
     return out
 
 
+def onthefly_disagreements(
+    program,
+    spec,
+    config,
+    impl: LTS,
+    spec_system: LTS,
+    budget: Optional[RunBudget] = None,
+    meta: Optional[Dict[str, object]] = None,
+) -> List[Disagreement]:
+    """Cross-check the fused on-the-fly paths against the classic ones.
+
+    Two independent checks, both anchored on the classic full-exploration
+    reachability verdict for the same program and bounds:
+
+    * the *fused product search*
+      (:func:`~repro.verify.reachability.reachability_search_streaming`
+      over a demand-driven :class:`~repro.lang.StreamingExplorer`) must
+      return the identical verdict, and its violation witness must be an
+      implementation trace the specification cannot produce -- this is
+      the cross-check behind the ``onthefly-skip-frontier-check``
+      mutation (caught deterministically by ``canary_mark``);
+    * the *partial-product early-exit lane*
+      (:class:`~repro.core.PartialProductChecker` fed from a drained
+      stream) may stay silent -- it is incomplete for TRUE -- but when
+      it does claim a mismatch the program must really be
+      non-linearizable and its counterexample must be a valid witness.
+    """
+    from ..core import PartialProductChecker
+    from ..lang import StreamingExplorer
+    from ..verify.reachability import (
+        reachability_search,
+        reachability_search_streaming,
+    )
+
+    out: List[Disagreement] = []
+    classic = reachability_search(impl, spec, budget=budget)
+
+    explorer = StreamingExplorer(
+        program, config, budget=budget, cache_edges=True
+    )
+    fused = reachability_search_streaming(explorer, spec, budget=budget)
+    if fused.holds != classic.holds:
+        out.append(Disagreement(
+            kind="verdict",
+            name="onthefly-reachability",
+            detail=(
+                "fused streaming reachability says "
+                f"{'linearizable' if fused.holds else 'not linearizable'}, "
+                "the full-exploration search says the opposite"
+            ),
+            lts=impl,
+            meta=meta,
+        ))
+    elif not fused.holds:
+        witness = list(fused.counterexample or [])
+        if not oracles.is_trace_of(impl, witness):
+            out.append(Disagreement(
+                kind="verdict",
+                name="onthefly-counterexample",
+                detail=(
+                    f"fused violation witness {witness!r} is not a trace "
+                    "of the implementation"
+                ),
+                lts=impl,
+                meta=meta,
+            ))
+        elif oracles.is_trace_of(spec_system, witness):
+            out.append(Disagreement(
+                kind="verdict",
+                name="onthefly-counterexample",
+                detail=(
+                    f"fused violation witness {witness!r} is a trace of "
+                    "the specification (so the history is linearizable)"
+                ),
+                lts=impl,
+                meta=meta,
+            ))
+
+    drain = StreamingExplorer(program, config, budget=budget)
+    checker = PartialProductChecker(spec_system, budget=budget)
+    checker.start(drain.init_id)
+    while (events := drain.expand_next()) is not None:
+        if checker.feed_events(events):
+            break
+    if checker.mismatched:
+        if classic.holds:
+            out.append(Disagreement(
+                kind="verdict",
+                name="onthefly-early-exit",
+                detail=(
+                    "partial-product early exit claims a trace mismatch "
+                    "on a program the reachability engine proves "
+                    "linearizable"
+                ),
+                lts=impl,
+                meta=meta,
+            ))
+        else:
+            witness = list(checker.counterexample or [])
+            if not oracles.is_trace_of(impl, witness):
+                out.append(Disagreement(
+                    kind="verdict",
+                    name="onthefly-early-exit",
+                    detail=(
+                        f"early-exit witness {witness!r} is not a trace "
+                        "of the implementation"
+                    ),
+                    lts=impl,
+                    meta=meta,
+                ))
+            elif oracles.is_trace_of(spec_system, witness):
+                out.append(Disagreement(
+                    kind="verdict",
+                    name="onthefly-early-exit",
+                    detail=(
+                        f"early-exit witness {witness!r} is a trace of "
+                        "the specification"
+                    ),
+                    lts=impl,
+                    meta=meta,
+                ))
+    return out
+
+
 def check_verdict_engines(
     program,
     spec,
@@ -461,7 +585,9 @@ def check_verdict_engines(
     (:func:`verdict_engine_disagreements`).  At equal bounds the engines
     provably agree, so any disagreement is an engine bug -- this is the
     cross-check behind the ``drop-monitor-transition`` and
-    ``skip-violation-state`` mutations.
+    ``skip-violation-state`` mutations.  The fused on-the-fly paths are
+    then cross-checked against the classic verdict on the same instance
+    (:func:`onthefly_disagreements`).
     """
     from ..lang import ClientConfig, explore, spec_lts
 
@@ -478,13 +604,17 @@ def check_verdict_engines(
         spec, num_threads, ops_per_thread, workload,
         max_states=max_states, budget=budget,
     )
-    return verdict_engine_disagreements(
+    out = verdict_engine_disagreements(
         impl, spec, spec_system, budget=budget, meta=meta
     )
+    out.extend(onthefly_disagreements(
+        program, spec, config, impl, spec_system, budget=budget, meta=meta
+    ))
+    return out
 
 
 def _canary_programs():
-    """Two fixed programs that deterministically separate the verdict
+    """Three fixed programs that deterministically separate the verdict
     engines under each reachability mutation.
 
     * ``canary_flag`` (a write-once flag) is linearizable: a monitor
@@ -495,6 +625,15 @@ def _canary_programs():
       *not* linearizable against its atomic spec: an engine that skips
       the violation state (``skip-violation-state``) can never report
       FALSE, so reachability flips to TRUE.
+    * ``canary_mark`` is ``canary_blink`` with the observed value
+      written to a global *before* returning: the post-violation states
+      are then reachable only through violating edges, so in the fused
+      streaming search their implementation states never leave the
+      frontier and an engine that skips frontier violations
+      (``onthefly-skip-frontier-check``) flips to TRUE.  (On
+      ``canary_blink`` itself the post-return state merges violating
+      and innocent histories -- locals are cleared on return -- so the
+      destination is always expanded first and that mutation survives.)
     """
     from ..lang import Method, ObjectProgram, ReadGlobal, Return, WriteGlobal
 
@@ -506,20 +645,35 @@ def _canary_programs():
         [Method("set1", body=[WriteGlobal("g", 1), Return(0)]), get],
         globals_={"g": 0},
     )
+    blink_method = Method(
+        "blink",
+        body=[WriteGlobal("g", 1), WriteGlobal("g", 0), Return(0)],
+    )
     blink = ObjectProgram(
         "canary_blink",
-        [
-            Method(
-                "blink",
-                body=[WriteGlobal("g", 1), WriteGlobal("g", 0), Return(0)],
-            ),
-            get,
-        ],
+        [blink_method, get],
         globals_={"g": 0},
+    )
+    mark = ObjectProgram(
+        "canary_mark",
+        [
+            blink_method,
+            Method(
+                "mark",
+                locals_={"x": 0},
+                body=[
+                    ReadGlobal("x", "g"),
+                    WriteGlobal("seen", "x"),
+                    Return("x"),
+                ],
+            ),
+        ],
+        globals_={"g": 0, "seen": 0},
     )
     return [
         ("canary-flag", flag, [("set1", ()), ("get", ())]),
         ("canary-blink", blink, [("blink", ()), ("get", ())]),
+        ("canary-mark", mark, [("blink", ()), ("mark", ())]),
     ]
 
 
@@ -808,10 +962,31 @@ def _mutate_skip_violation_state() -> Iterator[None]:
         R._SKIP_VIOLATION_STATE = original
 
 
+@contextmanager
+def _mutate_onthefly_skip_frontier_check() -> Iterator[None]:
+    """The fused streaming search skips violations whose destination
+    implementation state has not been expanded yet -- the tempting
+    "frontier states are not real yet" bug, which silently converts
+    shallow FALSE verdicts into TRUE (a violation found on a freshly
+    discovered state is exactly the early exit the fusion exists for).
+    Caught by the fused-vs-classic cross-check
+    (:func:`onthefly_disagreements`) -- deterministically by the
+    ``canary_mark`` program."""
+    from ..verify import reachability as R
+
+    original = R._SKIP_FRONTIER_CHECK
+    R._SKIP_FRONTIER_CHECK = True
+    try:
+        yield
+    finally:
+        R._SKIP_FRONTIER_CHECK = original
+
+
 MUTATIONS: Dict[str, Callable[[], object]] = {
     "drop-block-id": _mutate_drop_block_id,
     "drop-monitor-transition": _mutate_drop_monitor_transition,
     "skip-violation-state": _mutate_skip_violation_state,
+    "onthefly-skip-frontier-check": _mutate_onthefly_skip_frontier_check,
     "drop-budget-checks": _mutate_drop_budget_checks,
     "skip-divergence-mark": _mutate_skip_divergence_mark,
     "splitter-drop-smaller-half": _mutate_splitter_drop_smaller_half,

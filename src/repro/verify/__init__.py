@@ -9,12 +9,17 @@
   verdict engine (BEEH reduction to state reachability)
 """
 
-from .linearizability import LinearizabilityResult, check_linearizability
+from .linearizability import (
+    LinearizabilityResult,
+    check_linearizability,
+    check_linearizability_both,
+)
 from .reachability import (
     ReachabilityResult,
     ReachabilitySearch,
     check_linearizability_reachability,
     reachability_search,
+    reachability_search_streaming,
 )
 from .lockfree import (
     AbstractLockFreedomResult,
@@ -32,10 +37,12 @@ from .obstruction import (
 __all__ = [
     "LinearizabilityResult",
     "check_linearizability",
+    "check_linearizability_both",
     "ReachabilityResult",
     "ReachabilitySearch",
     "check_linearizability_reachability",
     "reachability_search",
+    "reachability_search_streaming",
     "AbstractLockFreedomResult",
     "LockFreedomResult",
     "check_lock_freedom_abstract",

@@ -12,19 +12,30 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Hashable, List, Optional
+from typing import TYPE_CHECKING, Any, Hashable, List, Optional, Tuple
 
 from ..core import (
+    AnyLTS,
+    PartialProductChecker,
     branching_partition,
     quotient_lts,
     trace_refines,
 )
-from ..lang import ClientConfig, ObjectProgram, SpecObject, spec_lts
+from ..lang import (
+    ClientConfig,
+    ObjectProgram,
+    SpecObject,
+    StreamingExplorer,
+    spec_lts,
+)
 from ..lang.checkpoint import Checkpoint, CheckpointSink
 from ..lang.client import Workload
 from ..parallel import maybe_parallel_explore
 from ..util.budget import BudgetExhausted, Exhaustion, RunBudget, verdict_of
 from ..util.metrics import Stats, stage
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .reachability import ReachabilityResult
 
 
 @dataclass
@@ -58,6 +69,15 @@ class LinearizabilityResult:
     stats: Optional[Stats] = None
     #: Why the pipeline stopped early (None when it completed).
     exhaustion: Optional[Exhaustion] = None
+    #: Whether the pipeline ran with the streaming early-exit lane.
+    on_the_fly: bool = False
+    #: True when the early-exit lane decided FALSE on the partial
+    #: product before exploration finished; ``impl_states`` then counts
+    #: only the states streamed up to the mismatch and the quotient
+    #: fields are zero (no quotient was ever built).
+    early_exit: bool = False
+    #: States the stream expanded before the verdict (fused runs only).
+    states_expanded: Optional[int] = None
 
     @property
     def verdict(self) -> str:
@@ -101,6 +121,8 @@ def check_linearizability(
     spec_checkpoint: Optional[CheckpointSink] = None,
     spec_resume: Optional[Checkpoint] = None,
     engine: Optional[str] = None,
+    on_the_fly: bool = False,
+    impl_system: Optional[AnyLTS] = None,
 ) -> LinearizabilityResult:
     """Run the full Theorem 5.3 pipeline for one object.
 
@@ -129,6 +151,26 @@ def check_linearizability(
     byte-identical to serial exploration.  ``spec_checkpoint`` /
     ``spec_resume`` checkpoint the specification-LTS generation so an
     interrupted ``lin`` run does not regenerate it from scratch.
+
+    ``on_the_fly=True`` adds the streaming early-exit lane: the object
+    system is produced by a :class:`~repro.lang.StreamingExplorer` and
+    every streamed transition is fed to an incremental partial-product
+    mismatch check (:class:`~repro.core.PartialProductChecker`) against
+    the specification system.  A detected mismatch is a sound FALSE --
+    the pipeline returns it immediately with a counterexample, having
+    expanded only a prefix of the state space (``early_exit=True``).
+    The check is incomplete in the other direction, so a mismatch-free
+    drain falls back to the unchanged full explore + splitter +
+    refinement pipeline for the TRUE verdict.  Streaming consumes
+    expansions in order, which the sharded supervisor cannot reproduce,
+    so ``workers`` is ignored in this mode (documented serial degrade:
+    :data:`repro.parallel.STREAMING_SERIAL_REASON`; the stats sink
+    counts ``onthefly_serial_degradations``).
+
+    ``impl_system``, when given, is a pre-explored object system to
+    check instead of exploring here (the ``lin --method both``
+    shared-exploration path -- see :func:`check_linearizability_both`);
+    ``on_the_fly`` is ignored with a shared system.
     """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
@@ -138,21 +180,72 @@ def check_linearizability(
         workload=workload,
         max_states=max_states,
     )
+    fused = on_the_fly and impl_system is None
+    explorer: Optional[StreamingExplorer] = None
     impl_states = impl_quotient_states = 0
     spec_states = spec_quotient_states = 0
     t0 = t1 = t2 = t3 = time.perf_counter()
     try:
-        impl = maybe_parallel_explore(
-            program, config, workers=workers, fault_plan=fault_plan,
-            shard_states=shard_states, stats=stats, budget=budget,
-        )
-        impl_states = impl.num_states
-        spec_system = spec_lts(
-            spec, num_threads, ops_per_thread, workload, max_states=max_states,
-            stats=stats, budget=budget,
-            checkpoint=spec_checkpoint, resume=spec_resume,
-        )
-        spec_states = spec_system.num_states
+        if fused:
+            if workers and stats is not None:
+                stats.count("onthefly_serial_degradations", 1)
+            # The mismatch check needs the spec system first.
+            spec_system = spec_lts(
+                spec, num_threads, ops_per_thread, workload,
+                max_states=max_states, stats=stats, budget=budget,
+                checkpoint=spec_checkpoint, resume=spec_resume,
+            )
+            spec_states = spec_system.num_states
+            explorer = StreamingExplorer(program, config, budget=budget)
+            checker = PartialProductChecker(spec_system, budget=budget)
+            checker.start(explorer.init_id)
+            with stage(stats, "explore+check"):
+                while (events := explorer.expand_next()) is not None:
+                    if checker.feed_events(events):
+                        break
+                if stats is not None:
+                    stats.count("states", explorer.num_states)
+                    stats.count("transitions", explorer.num_transitions)
+                    stats.count("macro_states", checker.macro_states)
+            impl_states = explorer.num_states
+            if checker.mismatched:
+                t1 = time.perf_counter()
+                return LinearizabilityResult(
+                    object_name=program.name,
+                    linearizable=False,
+                    counterexample=checker.counterexample,
+                    impl_states=impl_states,
+                    impl_quotient_states=0,
+                    spec_states=spec_states,
+                    spec_quotient_states=0,
+                    num_threads=num_threads,
+                    ops_per_thread=ops_per_thread,
+                    explore_seconds=t1 - t0,
+                    quotient_seconds=0.0,
+                    refinement_seconds=0.0,
+                    stats=stats,
+                    on_the_fly=True,
+                    early_exit=True,
+                    states_expanded=explorer.states_expanded,
+                )
+            impl = explorer.freeze()
+        else:
+            if impl_system is not None:
+                impl = impl_system
+                if stats is not None:
+                    stats.count("shared_impl_states", impl.num_states)
+            else:
+                impl = maybe_parallel_explore(
+                    program, config, workers=workers, fault_plan=fault_plan,
+                    shard_states=shard_states, stats=stats, budget=budget,
+                )
+            impl_states = impl.num_states
+            spec_system = spec_lts(
+                spec, num_threads, ops_per_thread, workload,
+                max_states=max_states, stats=stats, budget=budget,
+                checkpoint=spec_checkpoint, resume=spec_resume,
+            )
+            spec_states = spec_system.num_states
         t1 = time.perf_counter()
         with stage(stats, "quotient"):
             impl_quotient = quotient_lts(
@@ -177,6 +270,8 @@ def check_linearizability(
         t3 = time.perf_counter()
     except BudgetExhausted as exc:
         now = time.perf_counter()
+        if explorer is not None:
+            impl_states = explorer.num_states
         return LinearizabilityResult(
             object_name=program.name,
             linearizable=None,
@@ -192,6 +287,10 @@ def check_linearizability(
             refinement_seconds=0.0,
             stats=stats,
             exhaustion=exc.exhaustion,
+            on_the_fly=fused,
+            states_expanded=(
+                explorer.states_expanded if explorer is not None else None
+            ),
         )
     return LinearizabilityResult(
         object_name=program.name,
@@ -207,4 +306,113 @@ def check_linearizability(
         quotient_seconds=t2 - t1,
         refinement_seconds=t3 - t2,
         stats=stats,
+        on_the_fly=fused,
+        states_expanded=(
+            explorer.states_expanded if explorer is not None else None
+        ),
     )
+
+
+def check_linearizability_both(
+    program: ObjectProgram,
+    spec: SpecObject,
+    num_threads: int = 2,
+    ops_per_thread: int = 2,
+    workload: Optional[Workload] = None,
+    max_states: Optional[int] = None,
+    stats_quotient: Optional[Stats] = None,
+    stats_reachability: Optional[Stats] = None,
+    reduce: bool = True,
+    budget: Optional[RunBudget] = None,
+    workers: int = 0,
+    fault_plan: Optional[Any] = None,
+    shard_states: Optional[int] = None,
+    spec_checkpoint: Optional[CheckpointSink] = None,
+    spec_resume: Optional[Checkpoint] = None,
+    engine: Optional[str] = None,
+) -> Tuple[LinearizabilityResult, "ReachabilityResult"]:
+    """Run both verdict engines over one shared exploration.
+
+    ``lin --method both`` used to explore the same object system twice
+    -- once per engine.  This helper explores exactly once (including
+    ``workers``-way sharding) and hands the frozen system to both
+    pipelines via their ``impl_system`` parameter; each engine's report
+    then carries the shared exploration time.  The two engines must see
+    the same state count by construction -- that invariant is asserted
+    here because a disagreement between their verdicts is only
+    meaningful when their inputs are identical.
+
+    Exhaustion during the shared exploration yields *two* UNKNOWN
+    results carrying the same exhaustion record, mirroring what two
+    independent exhausted pipelines would have returned.
+    """
+    from .reachability import ReachabilityResult, check_linearizability_reachability
+
+    if workload is None:
+        raise ValueError("a workload (method/argument universe) is required")
+    config = ClientConfig(
+        num_threads=num_threads,
+        ops_per_thread=ops_per_thread,
+        workload=workload,
+        max_states=max_states,
+    )
+    t0 = time.perf_counter()
+    try:
+        impl = maybe_parallel_explore(
+            program, config, workers=workers, fault_plan=fault_plan,
+            shard_states=shard_states, stats=stats_quotient, budget=budget,
+        )
+    except BudgetExhausted as exc:
+        elapsed = time.perf_counter() - t0
+        quotient_result = LinearizabilityResult(
+            object_name=program.name,
+            linearizable=None,
+            counterexample=None,
+            impl_states=0,
+            impl_quotient_states=0,
+            spec_states=0,
+            spec_quotient_states=0,
+            num_threads=num_threads,
+            ops_per_thread=ops_per_thread,
+            explore_seconds=elapsed,
+            quotient_seconds=0.0,
+            refinement_seconds=0.0,
+            stats=stats_quotient,
+            exhaustion=exc.exhaustion,
+        )
+        reachability_result = ReachabilityResult(
+            object_name=program.name,
+            linearizable=None,
+            counterexample=None,
+            impl_states=0,
+            product_states=0,
+            monitor_states=0,
+            num_threads=num_threads,
+            ops_per_thread=ops_per_thread,
+            explore_seconds=elapsed,
+            check_seconds=0.0,
+            stats=stats_reachability,
+            exhaustion=exc.exhaustion,
+        )
+        return quotient_result, reachability_result
+    explore_seconds = time.perf_counter() - t0
+    quotient_result = check_linearizability(
+        program, spec, num_threads, ops_per_thread, workload=workload,
+        max_states=max_states, stats=stats_quotient, reduce=reduce,
+        budget=budget, spec_checkpoint=spec_checkpoint,
+        spec_resume=spec_resume, engine=engine, impl_system=impl,
+    )
+    reachability_result = check_linearizability_reachability(
+        program, spec, num_threads, ops_per_thread, workload=workload,
+        max_states=max_states, stats=stats_reachability, budget=budget,
+        impl_system=impl,
+    )
+    if quotient_result.impl_states != reachability_result.impl_states:
+        raise AssertionError(
+            "shared exploration diverged between engines: quotient saw "
+            f"{quotient_result.impl_states} states, reachability "
+            f"{reachability_result.impl_states}"
+        )
+    quotient_result.explore_seconds += explore_seconds
+    reachability_result.explore_seconds += explore_seconds
+    return quotient_result, reachability_result

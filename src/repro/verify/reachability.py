@@ -57,11 +57,17 @@ from typing import (
 )
 
 from ..core.lts import TAU_ID, AnyLTS
-from ..lang import ClientConfig, ObjectProgram, SpecObject
+from ..lang import ClientConfig, ObjectProgram, SpecObject, StreamingExplorer
 from ..lang.client import Workload
 from ..lang.state import ModelError
 from ..parallel import maybe_parallel_explore
-from ..util.budget import BudgetExhausted, Exhaustion, RunBudget, verdict_of
+from ..util.budget import (
+    PHASE_EXPLORE_REACHABILITY,
+    BudgetExhausted,
+    Exhaustion,
+    RunBudget,
+    verdict_of,
+)
 from ..util.metrics import Stats
 
 #: Mutation hooks for the differential harness (see
@@ -70,11 +76,16 @@ from ..util.metrics import Stats
 #: than thread 1 (spurious violations on linearizable objects);
 #: ``_SKIP_VIOLATION_STATE`` makes the search treat the empty monitor
 #: set as a dead end instead of a violation (the engine can never
-#: report FALSE).  Both must stay ``True``/``False`` as below in
-#: production; the fuzz harness flips them to prove the cross-engine
-#: check catches whole-engine bugs.
+#: report FALSE).  ``_SKIP_FRONTIER_CHECK`` makes the *streaming* search
+#: ignore violations whose destination implementation state has not
+#: been expanded yet -- exactly the plausible-looking bug of checking
+#: product pairs only after their impl state leaves the frontier, which
+#: silently turns shallow FALSE verdicts into TRUE.  All must stay
+#: ``True``/``False`` as below in production; the fuzz harness flips
+#: them to prove the cross-engine check catches whole-engine bugs.
 _DROP_MONITOR_TRANSITION = False
 _SKIP_VIOLATION_STATE = False
+_SKIP_FRONTIER_CHECK = False
 
 #: One monitor configuration: ``(abstract_state, statuses)`` where
 #: ``statuses`` is a tid-sorted tuple of ``(tid, status)`` entries and
@@ -164,12 +175,21 @@ def _parse_history_label(label: Hashable) -> Tuple[str, int, str, Any]:
 
 @dataclass
 class ReachabilitySearch:
-    """Raw outcome of the monitor-product reachability search."""
+    """Raw outcome of the monitor-product reachability search.
+
+    ``states_expanded`` / ``states_interned`` are only filled by the
+    streaming (on-the-fly) search: how many implementation states the
+    fused product search actually demanded from the explorer, and how
+    many it discovered (interned), respectively.  The classic search
+    over a pre-explored system leaves them ``None``.
+    """
 
     holds: bool
     counterexample: Optional[List[Hashable]]
     product_states: int
     monitor_states: int
+    states_expanded: Optional[int] = None
+    states_interned: Optional[int] = None
 
 
 def reachability_search(
@@ -292,6 +312,141 @@ def _search(
     )
 
 
+def reachability_search_streaming(
+    explorer: StreamingExplorer,
+    spec: SpecObject,
+    stats: Optional[Stats] = None,
+    budget: Optional[RunBudget] = None,
+) -> ReachabilitySearch:
+    """On-the-fly variant of :func:`reachability_search`.
+
+    Composes the specification monitor with *exploration*: the product
+    search pulls implementation successors on demand from a
+    :class:`~repro.lang.StreamingExplorer` (``cache_edges=True``), so
+    monitor sets are computed per frontier state, antichain subsumption
+    prunes a product pair *before* its implementation state is ever
+    expanded, and a violation terminates the run immediately -- without
+    the up-front full exploration of the classic pipeline.  The witness
+    reconstruction path is the classic one (parent pointers).
+
+    The search order is depth-first (the classic search is breadth-
+    first): for FALSE verdicts any violating path is a valid witness and
+    DFS commits to deep suffixes early, which is what makes shallow
+    bugs cheap; for TRUE verdicts every reachable pair is exhausted
+    either way, so the verdict is order-independent.  Consequently the
+    witness is *a* violating history, not necessarily a shortest one.
+
+    ``budget`` is checked once per popped pair under the interleaved
+    phase ``"explore+reachability"`` (demand expansions inside the
+    explorer still report phase ``"explore"``).
+    """
+    if stats is None:
+        return _search_streaming(explorer, spec, budget)
+    with stats.stage("reachability"):
+        result = _search_streaming(explorer, spec, budget)
+        stats.count("product_states", result.product_states)
+        stats.count("monitor_states", result.monitor_states)
+        stats.count("states_expanded", result.states_expanded)
+        stats.count("states_interned", result.states_interned)
+    return result
+
+
+def _search_streaming(
+    explorer: StreamingExplorer,
+    spec: SpecObject,
+    budget: Optional[RunBudget],
+) -> ReachabilitySearch:
+    init_mset = initial_monitor(spec)
+    monitor_sets: Set[MonitorSet] = {init_mset}
+    init = explorer.init_id
+    start = (init, init_mset)
+    visited: Dict[int, List[MonitorSet]] = {init: [init_mset]}
+    parents: Dict[
+        Tuple[int, MonitorSet],
+        Tuple[Optional[Tuple[int, MonitorSet]], Optional[Hashable]],
+    ] = {start: (None, None)}
+    stack: List[Tuple[int, MonitorSet]] = [start]
+    post_cache: Dict[Tuple[MonitorSet, int], MonitorSet] = {}
+
+    def subsumed(state: int, mset: MonitorSet) -> bool:
+        for existing in visited.get(state, ()):
+            if existing <= mset:
+                return True
+        return False
+
+    def record(state: int, mset: MonitorSet) -> None:
+        chain = visited.setdefault(state, [])
+        chain[:] = [existing for existing in chain if not (mset <= existing)]
+        chain.append(mset)
+
+    def outcome(holds: bool, trace: Optional[List[Hashable]]) -> ReachabilitySearch:
+        return ReachabilitySearch(
+            holds=holds,
+            counterexample=trace,
+            product_states=len(parents),
+            monitor_states=len(monitor_sets),
+            states_expanded=explorer.states_expanded,
+            states_interned=explorer.num_states,
+        )
+
+    while stack:
+        if budget is not None:
+            budget.check(
+                PHASE_EXPLORE_REACHABILITY,
+                pairs=len(parents),
+                queued=len(stack),
+                monitors=len(monitor_sets),
+            )
+        node = stack.pop()
+        state, mset = node
+        # The only place implementation states get expanded: a product
+        # pair that is never popped (because the antichain subsumed it)
+        # never costs an expansion of a fresh impl state.
+        for aid, label, dst in explorer.successors_of(state):
+            if aid == TAU_ID:
+                if subsumed(dst, mset):
+                    continue
+                record(dst, mset)
+                succ = (dst, mset)
+                parents[succ] = (node, None)
+                stack.append(succ)
+                continue
+            key = (mset, aid)
+            new_mset = post_cache.get(key)
+            if new_mset is None:
+                kind, tid, mname, payload = _parse_history_label(label)
+                if kind == "call":
+                    new_mset = monitor_after_call(spec, mset, tid, mname, payload)
+                else:
+                    new_mset = monitor_after_return(
+                        spec, mset, tid, mname, payload
+                    )
+                post_cache[key] = new_mset
+                monitor_sets.add(new_mset)
+            if not new_mset:
+                if _SKIP_VIOLATION_STATE:
+                    continue
+                if _SKIP_FRONTIER_CHECK and not explorer.is_expanded(dst):
+                    continue
+                # Violation: reconstruct the offending visible history.
+                trace: List[Hashable] = [label]
+                cursor: Optional[Tuple[int, MonitorSet]] = node
+                while cursor is not None:
+                    parent, step_label = parents[cursor]
+                    if step_label is not None:
+                        trace.append(step_label)
+                    cursor = parent
+                trace.reverse()
+                return outcome(False, trace)
+            if subsumed(dst, new_mset):
+                continue
+            record(dst, new_mset)
+            succ = (dst, new_mset)
+            parents[succ] = (node, label)
+            stack.append(succ)
+    return outcome(True, None)
+
+
 @dataclass
 class ReachabilityResult:
     """Outcome of the BEEH reachability pipeline (mirrors
@@ -320,6 +475,14 @@ class ReachabilityResult:
     exhaustion: Optional[Exhaustion] = None
     #: Which verdict engine produced this result.
     method: str = "reachability"
+    #: Whether the fused streaming search produced this result; when
+    #: True, ``impl_states`` counts states *interned* by the stream and
+    #: ``states_expanded`` counts the (usually far smaller) subset the
+    #: product search actually expanded.  Fused runs interleave
+    #: exploration with checking, so ``explore_seconds`` covers only
+    #: setup and the fused loop is all in ``check_seconds``.
+    on_the_fly: bool = False
+    states_expanded: Optional[int] = None
 
     @property
     def verdict(self) -> str:
@@ -352,6 +515,8 @@ def check_linearizability_reachability(
     workers: int = 0,
     fault_plan: Optional[Any] = None,
     shard_states: Optional[int] = None,
+    on_the_fly: bool = False,
+    impl_system: Optional[AnyLTS] = None,
 ) -> ReachabilityResult:
     """Run the full BEEH reachability pipeline for one object.
 
@@ -364,6 +529,23 @@ def check_linearizability_reachability(
     :func:`~repro.verify.linearizability.check_linearizability` -- the
     two engines share nothing past exploration, which is what makes the
     agreement a meaningful cross-check (``lin --method both``).
+
+    ``on_the_fly=True`` fuses exploration with the product search
+    (:func:`reachability_search_streaming`): same verdict, but a
+    violation is reported after expanding only the states the search
+    actually touched.  Streaming consumes expansions in search order,
+    which the sharded supervisor cannot reproduce, so ``workers`` is
+    ignored in this mode (documented serial degrade --
+    :data:`repro.parallel.STREAMING_SERIAL_REASON`; the stats sink
+    records an ``onthefly_serial_degradations`` counter when it
+    happens).
+
+    ``impl_system``, when given, is a pre-explored object system to
+    check instead of exploring here -- used by
+    :func:`~repro.verify.linearizability.check_linearizability_both` so
+    ``lin --method both`` explores once and shares the result.  It must
+    come from the same program/bounds; ``on_the_fly`` is ignored with a
+    shared system (there is nothing left to stream).
 
     With a :class:`~repro.util.metrics.Stats` sink the pipeline records
     ``explore`` and ``reachability`` stages plus product/monitor state
@@ -380,19 +562,40 @@ def check_linearizability_reachability(
         workload=workload,
         max_states=max_states,
     )
+    fused = on_the_fly and impl_system is None
+    explorer: Optional[StreamingExplorer] = None
     impl_states = 0
     t0 = t1 = time.perf_counter()
     try:
-        impl = maybe_parallel_explore(
-            program, config, workers=workers, fault_plan=fault_plan,
-            shard_states=shard_states, stats=stats, budget=budget,
-        )
-        impl_states = impl.num_states
-        t1 = time.perf_counter()
-        search = reachability_search(impl, spec, stats=stats, budget=budget)
+        if fused:
+            if workers and stats is not None:
+                stats.count("onthefly_serial_degradations", 1)
+            explorer = StreamingExplorer(
+                program, config, budget=budget, cache_edges=True,
+            )
+            t1 = time.perf_counter()
+            search = reachability_search_streaming(
+                explorer, spec, stats=stats, budget=budget,
+            )
+            impl_states = explorer.num_states
+        else:
+            if impl_system is not None:
+                impl = impl_system
+                if stats is not None:
+                    stats.count("shared_impl_states", impl.num_states)
+            else:
+                impl = maybe_parallel_explore(
+                    program, config, workers=workers, fault_plan=fault_plan,
+                    shard_states=shard_states, stats=stats, budget=budget,
+                )
+            impl_states = impl.num_states
+            t1 = time.perf_counter()
+            search = reachability_search(impl, spec, stats=stats, budget=budget)
         t2 = time.perf_counter()
     except BudgetExhausted as exc:
         now = time.perf_counter()
+        if explorer is not None:
+            impl_states = explorer.num_states
         return ReachabilityResult(
             object_name=program.name,
             linearizable=None,
@@ -406,12 +609,16 @@ def check_linearizability_reachability(
             check_seconds=(now - t1) if t1 > t0 else 0.0,
             stats=stats,
             exhaustion=exc.exhaustion,
+            on_the_fly=fused,
+            states_expanded=(
+                explorer.states_expanded if explorer is not None else None
+            ),
         )
     return ReachabilityResult(
         object_name=program.name,
         linearizable=search.holds,
         counterexample=search.counterexample,
-        impl_states=impl.num_states,
+        impl_states=impl_states,
         product_states=search.product_states,
         monitor_states=search.monitor_states,
         num_threads=num_threads,
@@ -419,4 +626,6 @@ def check_linearizability_reachability(
         explore_seconds=t1 - t0,
         check_seconds=t2 - t1,
         stats=stats,
+        on_the_fly=fused,
+        states_expanded=search.states_expanded,
     )

@@ -13,6 +13,7 @@ import pytest
 from repro.core.aut import dumps_aut
 from repro.lang import (
     ClientConfig,
+    StreamingExplorer,
     explore,
 )
 from repro.lang.checkpoint import (
@@ -136,6 +137,83 @@ def test_save_is_atomic(tmp_path):
     save_checkpoint(str(path), cp)
     assert [p.name for p in tmp_path.iterdir()] == ["atomic.ckpt"]
     assert load_checkpoint(str(path)).fingerprint == {"k": 1}
+
+
+# ----------------------------------------------------------------------
+# streaming <-> classic checkpoint interop (the on-the-fly refactor must
+# not fork the checkpoint format: a run interrupted mid-stream resumes
+# bit-identically from/into the classic explorer, both directions)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("key", ["treiber", "ms_queue"])
+def test_streaming_snapshot_resumes_in_classic_explorer(key, tmp_path):
+    # Interrupt a StreamingExplorer mid-stream via an explicit snapshot,
+    # then hand the saved checkpoint to the classic explore() wrapper.
+    program, config = _bench_config(key)
+    full = explore(program, config)
+
+    explorer = StreamingExplorer(program, config)
+    for _ in range(50):
+        assert explorer.expand_next() is not None
+    path = str(tmp_path / f"{key}.stream.ckpt")
+    save_checkpoint(path, explorer.snapshot())
+
+    resumed = explore(program, config, resume=load_checkpoint(path))
+    assert dumps_aut(full) == dumps_aut(resumed)
+
+
+@pytest.mark.parametrize("key", ["treiber", "ms_queue"])
+def test_classic_checkpoint_resumes_in_streaming_explorer(key, tmp_path):
+    # The reverse direction: a checkpoint written by a classic capped
+    # run is picked up by a StreamingExplorer, which drains the rest.
+    program, config = _bench_config(key)
+    full = explore(program, config)
+
+    capped = ClientConfig(
+        num_threads=config.num_threads,
+        ops_per_thread=config.ops_per_thread,
+        workload=config.workload,
+        max_states=400,
+    )
+    path = str(tmp_path / f"{key}.classic.ckpt")
+    sink = CheckpointSink(path, interval_seconds=0.0)
+    with pytest.raises(BudgetExhausted):
+        explore(program, capped, checkpoint=sink)
+    assert sink.saves > 0
+
+    explorer = StreamingExplorer(
+        program, config, resume=load_checkpoint(path)
+    )
+    explorer.drain()
+    assert dumps_aut(full) == dumps_aut(explorer.freeze())
+
+
+def test_streaming_exhaustion_checkpoint_resumes_both_ways(tmp_path):
+    # A streaming run interrupted by its own state cap must leave a
+    # checkpoint that either explorer can finish from.
+    program, config = _bench_config("treiber")
+    full = explore(program, config)
+    capped = ClientConfig(
+        num_threads=config.num_threads,
+        ops_per_thread=config.ops_per_thread,
+        workload=config.workload,
+        max_states=400,
+    )
+    path = str(tmp_path / "stream-exhausted.ckpt")
+    explorer = StreamingExplorer(
+        program, capped,
+        checkpoint=CheckpointSink(path, interval_seconds=0.0),
+    )
+    with pytest.raises(BudgetExhausted):
+        explorer.drain()
+
+    classic = explore(program, config, resume=load_checkpoint(path))
+    streaming = StreamingExplorer(
+        program, config, resume=load_checkpoint(path)
+    )
+    streaming.drain()
+    assert dumps_aut(full) == dumps_aut(classic)
+    assert dumps_aut(full) == dumps_aut(streaming.freeze())
 
 
 def test_ref_pickle_round_trip():

@@ -369,6 +369,51 @@ def test_lin_method_both_agree_exits_zero(capsys):
     assert "both engines agree" in out
 
 
+def test_lin_onthefly_reachability_false_expands_fraction(capsys):
+    code = main(["lin", "hm_list_buggy", "--threads", "2", "--ops", "2",
+                 "--method", "reachability", "--on-the-fly"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "linearizable: FALSE" in out
+    assert "on-the-fly: expanded" in out
+
+
+def test_lin_onthefly_quotient_early_exit(capsys):
+    code = main(["lin", "hm_list_buggy", "--threads", "2", "--ops", "2",
+                 "--method", "quotient", "--on-the-fly"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "linearizable: FALSE" in out
+    assert "on-the-fly early exit" in out
+
+
+def test_lin_onthefly_true_falls_back_to_full_pipeline(capsys):
+    code = main(["lin", "newcas", "--threads", "2", "--ops", "1",
+                 "--on-the-fly"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "linearizable: TRUE" in out
+    assert "early exit" not in out
+
+
+def test_lin_onthefly_with_both_prints_disable_note(capsys):
+    code = main(["lin", "newcas", "--threads", "2", "--ops", "1",
+                 "--method", "both", "--on-the-fly"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "--on-the-fly is disabled with --method both" in out
+    assert "both engines agree" in out
+
+
+def test_lin_onthefly_with_workers_degrades_to_serial(capsys):
+    code = main(["lin", "hm_list_buggy", "--threads", "2", "--ops", "2",
+                 "--method", "reachability", "--on-the-fly",
+                 "--workers", "2"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "--workers ignored" in out
+
+
 def test_lin_method_both_disagreement_exits_three(capsys, monkeypatch):
     # Break the monitor so reachability wrongly reports TRUE on the
     # buggy list while the quotient engine still says FALSE: the CLI
@@ -426,7 +471,7 @@ def test_fuzz_instance_deadline_counts_exhausted(capsys):
     # Every instance hits the deadline, so nothing was actually
     # checked -- that is a vacuous run, not a pass.
     assert code == 1
-    assert "exhausted=12" in out
+    assert "exhausted=13" in out
     assert "vacuous" in out
 
 

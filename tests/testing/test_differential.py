@@ -54,9 +54,9 @@ def test_parity_seed_and_seeded_check_clean():
 
 def test_clean_fuzz_run_has_no_disagreements():
     report = run_fuzz(seed=0, n=60)
-    # The two verdict-engine canaries run before the n requested
+    # The three verdict-engine canaries run before the n requested
     # instances, so they show up in the instance count.
-    assert report.instances + report.skipped == 60 + 2
+    assert report.instances + report.skipped == 60 + 3
     assert report.disagreements == []
     assert report.checks > 0
     assert "disagreements=0" in report.render()
@@ -108,7 +108,11 @@ def test_check_verdict_engines_clean_on_canaries():
 
 @pytest.mark.parametrize(
     "mutation",
-    ["drop-monitor-transition", "skip-violation-state"],
+    [
+        "drop-monitor-transition",
+        "skip-violation-state",
+        "onthefly-skip-frontier-check",
+    ],
 )
 def test_monitor_mutations_are_caught_by_canaries_alone(mutation):
     # n=0 requests no random instances, so any catch must come from the
