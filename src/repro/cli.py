@@ -11,6 +11,8 @@ Subcommands::
     compare A.aut B.aut          compare two LTSs up to an equivalence
     bugs                         re-run the paper's bug hunts
     fuzz                         differential-test the engine vs oracles
+    serve --socket SPEC          run the verification service daemon
+    submit <kind> <key>          submit a job to a running daemon
 
 The long-running commands accept run-budget flags (``--deadline``,
 ``--max-rss-mb``) and degrade gracefully: on exhaustion they print a
@@ -32,8 +34,14 @@ splitter queue is the default; the signature sweep is the oracle).
 {quotient,reachability,both}`` to pick the verdict engine: the
 Theorem 5.3 quotient pipeline, the independent BEEH
 reachability backend, or both -- ``both`` cross-checks the verdicts
-and exits 3 (loudly) if the engines disagree.  See
-docs/ROBUSTNESS.md and docs/TESTING.md.
+and exits 3 (loudly) if the engines disagree.  ``serve`` runs the
+persistent verification daemon (bounded job queue, crash-safe result
+cache, graceful SIGTERM checkpointing) and ``submit`` sends it a
+``lin`` / ``lockfree`` / ``explore`` request over a TCP or Unix-domain
+socket, with the same verdict, counterexample and exit-code mapping as
+the direct commands (plus exit 2 when the service itself is
+unreachable or rejects the job).  See docs/ROBUSTNESS.md and
+docs/TESTING.md.
 
 Examples::
 
@@ -763,6 +771,132 @@ def cmd_fuzz(args) -> int:
     return 1 if found_bug else 0
 
 
+def cmd_serve(args) -> int:
+    """Run the persistent verification daemon until SIGTERM/SIGINT."""
+    from .service import DaemonConfig, VerificationDaemon
+
+    config = DaemonConfig(
+        socket=args.socket,
+        state_dir=args.state_dir,
+        queue_size=args.queue_size,
+        job_workers=args.job_workers,
+        cache_entries=args.cache_entries,
+        heartbeat_seconds=args.heartbeat,
+        checkpoint_seconds=args.checkpoint_interval,
+        job_deadline=args.job_deadline,
+    )
+    daemon = VerificationDaemon(config)
+    endpoint = daemon.bind()
+    print(f"serving on {endpoint} (state in {args.state_dir}, "
+          f"queue {args.queue_size}, {args.job_workers} job workers)",
+          flush=True)
+    daemon.run_forever()
+    print("daemon stopped")
+    return 0
+
+
+def _print_service_result(result: Dict) -> None:
+    """Render a service result dict the way the direct commands do."""
+    notes = []
+    if result.get("cached"):
+        notes.append("served from cache (no re-exploration)")
+    if result.get("resumed"):
+        notes.append("resumed from checkpoint")
+    if notes:
+        print("note: " + "; ".join(notes))
+    if result.get("error"):
+        print(f"job error: {result['error']}")
+    label = {"lin": "linearizable", "lockfree": "lock-free",
+             "explore": "explored"}[result["kind"]]
+    if result.get("exhaustion") is not None:
+        print(f"{label}: UNKNOWN -- {result['exhaustion']['render']}")
+        return
+    if result["kind"] == "explore":
+        print(f"{result['key']}: {result['impl_states']} states, "
+              f"{result['impl_transitions']} transitions")
+        return
+    if result["kind"] == "lockfree":
+        print(f"states {result['impl_states']} -> quotient "
+              f"{result['quotient_states']}")
+        print(f"{label}: {result['verdict']}  ({result['seconds']:.2f}s)")
+        if result.get("diagnostic"):
+            print(result["diagnostic"])
+        return
+    # lin
+    if result["method"] == "both":
+        for name in ("quotient", "reachability"):
+            engine = result[name]
+            print(f"{label} [{name}]: {engine['verdict']}")
+            if engine.get("counterexample"):
+                print(engine["counterexample"])
+        if result.get("disagree"):
+            print("ERROR: verdict engines disagree -- "
+                  f"quotient={result['quotient']['verdict']} "
+                  f"reachability={result['reachability']['verdict']}")
+        else:
+            print(f"{label}: {result['verdict']}  (both engines agree)")
+        return
+    if result["method"] == "quotient":
+        print(f"states {result['impl_states']} -> quotient "
+              f"{result['quotient_states']}")
+    else:
+        print(f"states {result['impl_states']} -> product "
+              f"{result['product_states']} "
+              f"({result['monitor_states']} monitor sets)")
+    print(f"{label}: {result['verdict']}  ({result['seconds']:.2f}s)")
+    if result.get("counterexample"):
+        print(result["counterexample"])
+
+
+def cmd_submit(args) -> int:
+    """Submit one job to a running daemon and wait for the verdict."""
+    from .service import ServiceError, SubmissionRejected, submit_request
+
+    request = {
+        "kind": args.kind,
+        "key": args.key,
+        "threads": args.threads,
+        "ops": args.ops,
+        "values": args.values,
+        "max_states": args.max_states,
+        "method": args.method,
+        "reduce": not args.no_reduce,
+        "engine": args.engine,
+        "deadline": args.deadline,
+    }
+    print(f"== {args.key} | {args.kind} via {args.socket} | "
+          f"{args.threads} threads x {args.ops} ops ==")
+
+    def on_accepted(job_id: str, meta: Dict) -> None:
+        dedup = " (deduplicated onto an in-flight job)" if meta.get("dedup") else ""
+        print(f"accepted as {job_id}{dedup}", flush=True)
+
+    def on_progress(payload: Dict) -> None:
+        detail = " ".join(f"{k}={v}" for k, v in sorted(payload.items()))
+        print(f"progress: {detail}", flush=True)
+
+    try:
+        result = submit_request(
+            args.socket, request,
+            connect_timeout=args.connect_timeout,
+            connect_attempts=args.connect_attempts,
+            timeout=args.timeout,
+            on_progress=on_progress,
+            on_accepted=on_accepted,
+        )
+    except SubmissionRejected as exc:
+        print(f"rejected: {exc.reason}", file=sys.stderr)
+        return EXIT_UNKNOWN
+    except ServiceError as exc:
+        # Service unavailable == no verdict, which is UNKNOWN territory;
+        # the job (if accepted) keeps running daemon-side and a
+        # resubmission will hit the cache or resume the checkpoint.
+        print(f"service error: {exc}", file=sys.stderr)
+        return EXIT_UNKNOWN
+    _print_service_result(result)
+    return result["exit_code"]
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -894,6 +1028,60 @@ def build_parser() -> argparse.ArgumentParser:
                            "(harness self-test, pair with --mutate)")
     fuzz.add_argument("--no-programs", action="store_true",
                       help="fuzz raw LTSs only, skip random client programs")
+
+    serve = commands.add_parser(
+        "serve", help="run the persistent verification service daemon",
+    )
+    serve.add_argument("--socket", required=True, metavar="PATH|HOST:PORT",
+                       help="Unix-domain socket path, or HOST:PORT for TCP")
+    serve.add_argument("--state-dir", default=".repro-service", metavar="DIR",
+                       help="durable state: result cache + job checkpoints "
+                            "(default .repro-service)")
+    serve.add_argument("--queue-size", type=int, default=8, metavar="N",
+                       help="max in-flight jobs before submissions are "
+                            "rejected with backpressure (default 8)")
+    serve.add_argument("--job-workers", type=int, default=2, metavar="N",
+                       help="concurrent job-runner threads (default 2)")
+    serve.add_argument("--cache-entries", type=int, default=256, metavar="N",
+                       help="LRU cap on cached results (default 256)")
+    serve.add_argument("--heartbeat", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="idle-connection heartbeat interval (default 2)")
+    serve.add_argument("--checkpoint-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="max seconds between job checkpoint saves "
+                            "(bounds work lost to a hard kill; default 1)")
+    serve.add_argument("--job-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job wall-clock budget (a request's "
+                            "own deadline overrides it)")
+
+    submit = commands.add_parser(
+        "submit", help="submit one job to a running verification daemon",
+    )
+    submit.add_argument("kind", choices=["lin", "lockfree", "explore"])
+    submit.add_argument("key", choices=sorted(BENCHMARKS))
+    submit.add_argument("--socket", required=True, metavar="PATH|HOST:PORT")
+    _add_bounds(submit)
+    submit.add_argument("--method", default=None,
+                        help="verdict method (lin: quotient/reachability/"
+                             "both; lockfree: union/tau-cycle)")
+    submit.add_argument("--no-reduce", action="store_true",
+                        help="disable the silent-structure reduction pass")
+    submit.add_argument("--engine", choices=ENGINES, default=None)
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock budget enforced daemon-side")
+    submit.add_argument("--timeout", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="max silence between frames before declaring "
+                             "the daemon dead (heartbeats count; default 60)")
+    submit.add_argument("--connect-timeout", type=float, default=5.0,
+                        metavar="SECONDS")
+    submit.add_argument("--connect-attempts", type=int, default=3,
+                        metavar="N",
+                        help="connect retries with capped backoff + jitter "
+                             "(default 3; rides out a daemon restart)")
     return parser
 
 
@@ -907,6 +1095,8 @@ HANDLERS = {
     "compare": cmd_compare,
     "bugs": cmd_bugs,
     "fuzz": cmd_fuzz,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
 }
 
 

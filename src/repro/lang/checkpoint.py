@@ -130,11 +130,25 @@ def save_checkpoint(path: str, checkpoint: Checkpoint) -> None:
 
 
 def load_checkpoint(path: str) -> Checkpoint:
-    """Read a checkpoint written by :func:`save_checkpoint`."""
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Any decode failure -- a truncated pickle from a torn write, a
+    pickle of the wrong shape, bytes that are not a pickle at all --
+    surfaces as :class:`CheckpointError`, never as a raw
+    ``UnpicklingError``/``EOFError`` escaping from ``pickle``
+    internals: torn on-disk state is an expected failure mode, not a
+    crash.
+    """
     try:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
-    except (pickle.UnpicklingError, EOFError, AttributeError) as exc:
+    except OSError:
+        raise
+    except Exception as exc:
+        # pickle raises a zoo of exception types on truncated/garbled
+        # input (UnpicklingError, EOFError, AttributeError, ValueError,
+        # UnicodeDecodeError, ...); collapse them all into the
+        # structured error.
         raise CheckpointError(f"unreadable checkpoint {path!r}: {exc}") from exc
     if not isinstance(payload, dict) or "checkpoint" not in payload:
         raise CheckpointError(f"{path!r} is not a repro checkpoint")
@@ -147,6 +161,28 @@ def load_checkpoint(path: str) -> Checkpoint:
     if not isinstance(checkpoint, Checkpoint):
         raise CheckpointError(f"{path!r} does not contain a Checkpoint")
     return checkpoint
+
+
+def load_checkpoint_or_quarantine(path: str) -> Optional[Checkpoint]:
+    """Best-effort load for opportunistic resume (the service daemon).
+
+    Returns ``None`` when ``path`` does not exist.  When the file exists
+    but is corrupt (torn write, wrong schema, not a pickle) it is moved
+    aside to ``path + ".corrupt"`` -- quarantined, so the next save is
+    not racing a poisoned file and the evidence survives for debugging
+    -- and ``None`` is returned: a lost checkpoint costs recomputation,
+    never a crash or a wrong resume.
+    """
+    try:
+        return load_checkpoint(path)
+    except FileNotFoundError:
+        return None
+    except (CheckpointError, OSError):
+        try:
+            os.replace(path, path + ".corrupt")
+        except OSError:
+            pass
+        return None
 
 
 class CheckpointSink:

@@ -37,13 +37,25 @@ MAGIC = b"RPX1"
 
 _HEADER = struct.Struct("!4sII")
 
-#: Refuse frames claiming more than this many payload bytes (a corrupt
-#: length field must not make the receiver allocate gigabytes).
+#: Default refusal threshold for a frame's claimed payload size (a
+#: corrupt length field must not make the receiver allocate gigabytes).
+#: Both read paths take a ``max_frame_bytes`` override: the service
+#: daemon runs its client-facing sockets with a much smaller cap, since
+#: a verification *request* is tiny while a supervisor merging shard
+#: results legitimately sees multi-megabyte frames.
 MAX_FRAME_BYTES = 1 << 30
 
 
 class ProtocolError(Exception):
     """A frame failed validation (magic, length bound, or checksum)."""
+
+
+def _check_length(length: int, max_frame_bytes: int) -> None:
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame claims {length} payload bytes "
+            f"(cap {max_frame_bytes}); corrupt length prefix?"
+        )
 
 
 def encode_frame(message: Any, corrupt: bool = False) -> bytes:
@@ -95,16 +107,22 @@ def _decode_payload(header: bytes, payload: bytes) -> Any:
         raise ProtocolError(f"payload does not unpickle: {exc}") from exc
 
 
-def read_frame(stream: BinaryIO) -> Optional[Any]:
-    """Blocking read of one frame; ``None`` on clean EOF."""
+def read_frame(
+    stream: BinaryIO, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> Optional[Any]:
+    """Blocking read of one frame; ``None`` on clean EOF.
+
+    A length prefix above ``max_frame_bytes`` raises
+    :class:`ProtocolError` *before* any payload allocation, so a
+    corrupt header can never OOM the receiver.
+    """
     header = _read_exact(stream, _HEADER.size)
     if header is None:
         return None
     magic, length, _crc = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(f"bad magic {magic!r}")
-    if length > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame claims {length} bytes")
+    _check_length(length, max_frame_bytes)
     payload = _read_exact(stream, length)
     if payload is None and length:
         raise ProtocolError("EOF inside a frame")
@@ -116,16 +134,37 @@ class FrameDecoder:
 
     Feed it whatever bytes the pipe produced; it returns every message
     completed so far and buffers the rest.  Validation failures raise
-    :class:`ProtocolError` and poison the decoder (the supervisor kills
-    the worker, so the stream is never resynchronized).
+    :class:`ProtocolError` and *poison* the decoder: once framing is
+    lost there is no way to resynchronize a length-prefixed stream, so
+    every later :meth:`feed` raises again instead of misparsing
+    payload bytes as headers.  The owner of the stream (supervisor,
+    service daemon) kills the connection and, for workers, requeues the
+    in-flight shard.
+
+    ``max_frame_bytes`` caps the *claimed* payload length; an oversized
+    prefix raises before any allocation, closing the
+    OOM-on-corrupt-header hole for pipe workers and sockets alike.
     """
 
-    __slots__ = ("_buffer",)
+    __slots__ = ("_buffer", "_max_frame_bytes", "_poisoned")
 
-    def __init__(self) -> None:
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
         self._buffer = bytearray()
+        self._max_frame_bytes = max_frame_bytes
+        self._poisoned: Optional[str] = None
+
+    @property
+    def poisoned(self) -> bool:
+        """True once any frame failed validation (no resync possible)."""
+        return self._poisoned is not None
+
+    def _poison(self, exc: ProtocolError) -> ProtocolError:
+        self._poisoned = str(exc)
+        return exc
 
     def feed(self, data: bytes) -> List[Any]:
+        if self._poisoned is not None:
+            raise ProtocolError(f"decoder poisoned: {self._poisoned}")
         self._buffer.extend(data)
         messages: List[Any] = []
         while True:
@@ -134,15 +173,20 @@ class FrameDecoder:
             header = bytes(self._buffer[:_HEADER.size])
             magic, length, _crc = _HEADER.unpack(header)
             if magic != MAGIC:
-                raise ProtocolError(f"bad magic {magic!r}")
-            if length > MAX_FRAME_BYTES:
-                raise ProtocolError(f"frame claims {length} bytes")
+                raise self._poison(ProtocolError(f"bad magic {magic!r}"))
+            try:
+                _check_length(length, self._max_frame_bytes)
+            except ProtocolError as exc:
+                raise self._poison(exc)
             end = _HEADER.size + length
             if len(self._buffer) < end:
                 return messages
             payload = bytes(self._buffer[_HEADER.size:end])
             del self._buffer[:end]
-            messages.append(_decode_payload(header, payload))
+            try:
+                messages.append(_decode_payload(header, payload))
+            except ProtocolError as exc:
+                raise self._poison(exc)
 
     @property
     def pending_bytes(self) -> int:

@@ -68,6 +68,7 @@ from ..util.budget import (
     child_allowance,
 )
 from ..util.metrics import Stats
+from ..util.retry import BackoffPolicy
 from .faults import FaultPlan
 from .protocol import (
     MSG_ERROR,
@@ -116,12 +117,27 @@ class ParallelConfig:
     #: degrades (drops the worker target by one).
     max_shard_retries: int = 3
     #: Exponential backoff for requeued shards: the n-th retry waits
-    #: ``min(backoff_base * 2**(n-1), backoff_cap)`` seconds.
+    #: ``min(backoff_base * 2**(n-1), backoff_cap)`` seconds (a
+    #: :class:`repro.util.retry.BackoffPolicy` without jitter -- shard
+    #: requeues are serialized through one supervisor, so there is no
+    #: herd to de-synchronize and determinism matters more).
     backoff_base: float = 0.05
     backoff_cap: float = 2.0
+    #: Seconds between a busy worker's progress heartbeats.  Heartbeats
+    #: are emitted *between* state expansions (no timer thread in the
+    #: child), so this is a lower bound on heartbeat spacing, and it
+    #: must stay well below ``heartbeat_timeout`` (the supervisor-side
+    #: grace) or every slow shard would be shot as hung -- the
+    #: supervisor validates ``heartbeat_seconds < heartbeat_timeout``.
+    #: Service daemons on loaded hosts raise both together.
+    heartbeat_seconds: float = 0.25
     #: Injected failures (``kill:1@40,stall:*@10`` ...); see
     #: :mod:`repro.parallel.faults`.
     fault_plan: Optional[FaultPlan] = None
+
+    def backoff_policy(self) -> BackoffPolicy:
+        """The requeue delay schedule as a shared policy object."""
+        return BackoffPolicy(base=self.backoff_base, cap=self.backoff_cap)
 
 
 @dataclass
@@ -148,6 +164,18 @@ class Supervisor:
     ) -> None:
         if parallel.workers < 1:
             raise ValueError("ParallelConfig.workers must be >= 1")
+        if parallel.heartbeat_seconds <= 0:
+            raise ValueError("ParallelConfig.heartbeat_seconds must be > 0")
+        if parallel.heartbeat_seconds >= parallel.heartbeat_timeout:
+            # A heartbeat interval at (or past) the hang deadline would
+            # make every busy worker look stalled; refuse the config
+            # instead of silently kill-looping (see docs/ROBUSTNESS.md).
+            raise ValueError(
+                "ParallelConfig.heartbeat_seconds "
+                f"({parallel.heartbeat_seconds}) must be smaller than "
+                f"heartbeat_timeout ({parallel.heartbeat_timeout})"
+            )
+        self.backoff_policy = parallel.backoff_policy()
         self.program = program
         self.config = config
         self.parallel = parallel
@@ -213,6 +241,7 @@ class Supervisor:
                 worker_main(
                     index, self.context, cmd_r, res_w,
                     fault_plan=self.parallel.fault_plan,
+                    heartbeat_seconds=self.parallel.heartbeat_seconds,
                 )
             finally:
                 os._exit(1)
@@ -301,8 +330,7 @@ class Supervisor:
             self.target = max(0, self.target - 1)
             self.retries[shard_id] = 0
             self._count("degraded_workers")
-        base = self.parallel.backoff_base
-        delay = min(base * (2 ** (attempts - 1)), self.parallel.backoff_cap)
+        delay = self.backoff_policy.delay(attempts)
         heapq.heappush(self.backoff, (time.monotonic() + delay, *shard))
 
     def _promote_backoff(self) -> None:

@@ -43,10 +43,13 @@ from .protocol import (
     write_frame,
 )
 
-#: Send a progress heartbeat at most this often while inside a shard.
-#: Heartbeats are emitted *between* state expansions (there is no timer
-#: thread or SIGALRM in the child), so a single ``expand()`` call longer
-#: than the supervisor's ``heartbeat_timeout`` looks like a stall; see
+#: Default spacing of progress heartbeats while inside a shard
+#: (overridable per run via ``ParallelConfig.heartbeat_seconds`` -- a
+#: service daemon on a loaded host runs with slower heartbeats and a
+#: matching larger ``heartbeat_timeout``).  Heartbeats are emitted
+#: *between* state expansions (there is no timer thread or SIGALRM in
+#: the child), so a single ``expand()`` call longer than the
+#: supervisor's ``heartbeat_timeout`` looks like a stall; see
 #: ``ParallelConfig.heartbeat_timeout`` for the supervisor-side slack.
 HEARTBEAT_SECONDS = 0.25
 
@@ -74,6 +77,7 @@ def worker_main(
     command_fd: int,
     result_fd: int,
     fault_plan: Optional[FaultPlan] = None,
+    heartbeat_seconds: float = HEARTBEAT_SECONDS,
 ) -> None:
     """Run the worker loop; never returns (ends in ``os._exit``).
 
@@ -98,6 +102,7 @@ def worker_main(
             corrupt_next = _run_shard(
                 worker_index, context, shard_id, keys, allowance,
                 out, plan, corrupt_next, states_counter=states_expanded,
+                heartbeat_seconds=heartbeat_seconds,
             )
             states_expanded += len(keys)
     except BrokenPipeError:
@@ -126,6 +131,7 @@ def _run_shard(
     plan: Optional[FaultPlan],
     corrupt_next: bool,
     states_counter: int,
+    heartbeat_seconds: float = HEARTBEAT_SECONDS,
 ) -> bool:
     """Expand one shard and send the result (or exhaustion/error) frame.
 
@@ -145,7 +151,7 @@ def _run_shard(
                 if fault is not None:
                     corrupt_next = _apply_fault(fault, out) or corrupt_next
             now = time.monotonic()
-            if now - last_beat >= HEARTBEAT_SECONDS:
+            if now - last_beat >= heartbeat_seconds:
                 write_frame(out, (MSG_PROGRESS, worker_index, shard_id, done + 1))
                 last_beat = now
     except BudgetExhausted as exc:

@@ -1,0 +1,207 @@
+"""Client side of the verification service (``repro submit``).
+
+A thin, synchronous wrapper over :class:`SocketFrameChannel`: build a
+request dict, frame it to the daemon, stream back progress/heartbeat
+frames until the result arrives.  Reconnection (after a daemon restart)
+is the connect-time capped-backoff retry from :mod:`repro.util.retry`;
+mid-wait failures surface as :class:`ServiceError` so the caller can
+resubmit -- the daemon's cache and checkpoints make a resubmission
+cheap, which is the whole recovery story.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from .channel import (
+    RECONNECT_POLICY,
+    SERVICE_MAX_FRAME_BYTES,
+    ServiceError,
+    SocketFrameChannel,
+)
+from .messages import (
+    MSG_ACCEPTED,
+    MSG_CLOSING,
+    MSG_HEARTBEAT,
+    MSG_PING,
+    MSG_PONG,
+    MSG_PROGRESS,
+    MSG_REJECTED,
+    MSG_RESULT,
+    MSG_STATUS,
+    MSG_STATUS_REPLY,
+    MSG_SUBMIT,
+)
+
+
+class SubmissionRejected(ServiceError):
+    """The daemon refused the request (backpressure, bad request,
+    shutdown); ``reason`` carries its explanation."""
+
+    def __init__(self, reason: str):
+        super().__init__(f"submission rejected: {reason}")
+        self.reason = reason
+
+
+class ServiceClient:
+    """One connection to a verification daemon.
+
+    Use as a context manager, or :meth:`close` explicitly.  All waits
+    take a ``timeout`` bounding the gap to the *next* frame; the daemon
+    heartbeats idle connections every ``heartbeat_seconds``, so any
+    timeout comfortably above that doubles as a daemon-death detector.
+    """
+
+    def __init__(self, channel: SocketFrameChannel) -> None:
+        self.channel = channel
+
+    @classmethod
+    def connect(
+        cls,
+        spec: str,
+        timeout: float = 5.0,
+        attempts: int = 1,
+        policy=RECONNECT_POLICY,
+        max_frame_bytes: int = SERVICE_MAX_FRAME_BYTES,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> "ServiceClient":
+        """Connect (with capped-backoff retries when ``attempts`` > 1)."""
+        return cls(SocketFrameChannel.connect(
+            spec, timeout=timeout, attempts=attempts, policy=policy,
+            max_frame_bytes=max_frame_bytes, sleep=sleep,
+        ))
+
+    def close(self) -> None:
+        self.channel.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # small RPCs
+    # ------------------------------------------------------------------
+    def ping(self, timeout: float = 5.0) -> bool:
+        self.channel.send((MSG_PING,))
+        self.channel.recv_until((MSG_PONG,), timeout=timeout)
+        return True
+
+    def status(self, timeout: float = 5.0) -> Dict[str, Any]:
+        self.channel.send((MSG_STATUS,))
+        message = self.channel.recv_until((MSG_STATUS_REPLY,), timeout=timeout)
+        return message[1]
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, request: Dict[str, Any], timeout: float = 10.0) -> Any:
+        """Send one request; returns the acceptance.
+
+        Returns ``("result", job_id, result_dict)`` when the daemon
+        answered straight from its cache, ``("accepted", job_id,
+        meta_dict)`` when a job was enqueued (or deduplicated onto an
+        in-flight one -- ``meta_dict["dedup"]``).  Raises
+        :class:`SubmissionRejected` on a ``rejected`` frame.
+        """
+        self.channel.send((MSG_SUBMIT, dict(request)))
+        message = self.channel.recv_until(
+            (MSG_ACCEPTED, MSG_REJECTED, MSG_RESULT), timeout=timeout,
+        )
+        tag = message[0]
+        if tag == MSG_REJECTED:
+            raise SubmissionRejected(message[1])
+        if tag == MSG_RESULT:
+            return ("result", message[1], message[2])
+        return ("accepted", message[1], message[2])
+
+    def wait_result(
+        self,
+        job_id: str,
+        timeout: Optional[float] = 60.0,
+        overall_deadline: Optional[float] = None,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        on_closing: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, Any]:
+        """Block until ``job_id``'s result frame arrives.
+
+        ``timeout`` bounds the silence between frames (heartbeats
+        count, so it detects a dead daemon, not a slow job);
+        ``overall_deadline`` optionally bounds the whole wait.
+        Progress frames for the job go to ``on_progress``; a
+        ``closing`` frame (daemon shutting down gracefully -- the
+        result for an interrupted job still follows) goes to
+        ``on_closing``.
+        """
+        started = time.monotonic()
+        while True:
+            if (
+                overall_deadline is not None
+                and time.monotonic() - started > overall_deadline
+            ):
+                raise ServiceError(
+                    f"no result for {job_id} within {overall_deadline}s"
+                )
+            message = self.channel.recv(timeout=timeout)
+            if message is None:
+                raise ServiceError(
+                    f"connection closed while waiting for {job_id} "
+                    "(daemon killed? resubmit to resume from its checkpoint)"
+                )
+            tag = message[0] if isinstance(message, tuple) and message else None
+            if tag == MSG_HEARTBEAT:
+                continue
+            if tag == MSG_CLOSING:
+                if on_closing is not None:
+                    on_closing(message[1])
+                continue
+            if tag == MSG_PROGRESS and message[1] == job_id:
+                if on_progress is not None:
+                    on_progress(message[2])
+                continue
+            if tag == MSG_RESULT and message[1] == job_id:
+                return message[2]
+            # Frames for other jobs on a shared connection: ignore.
+
+    def submit_and_wait(
+        self,
+        request: Dict[str, Any],
+        timeout: Optional[float] = 60.0,
+        overall_deadline: Optional[float] = None,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+        on_accepted: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+        on_closing: Optional[Callable[[str], None]] = None,
+    ) -> Dict[str, Any]:
+        """Submit and block for the result (cached answers short-cut)."""
+        outcome = self.submit(request, timeout=timeout or 10.0)
+        if outcome[0] == "result":
+            return outcome[2]
+        _tag, job_id, meta = outcome
+        if on_accepted is not None:
+            on_accepted(job_id, meta)
+        return self.wait_result(
+            job_id, timeout=timeout, overall_deadline=overall_deadline,
+            on_progress=on_progress, on_closing=on_closing,
+        )
+
+
+def submit_request(
+    spec: str,
+    request: Dict[str, Any],
+    connect_timeout: float = 5.0,
+    connect_attempts: int = 3,
+    timeout: Optional[float] = 60.0,
+    overall_deadline: Optional[float] = None,
+    on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    on_accepted: Optional[Callable[[str, Dict[str, Any]], None]] = None,
+) -> Dict[str, Any]:
+    """One-shot convenience: connect, submit, wait, close."""
+    with ServiceClient.connect(
+        spec, timeout=connect_timeout, attempts=connect_attempts
+    ) as client:
+        return client.submit_and_wait(
+            request, timeout=timeout, overall_deadline=overall_deadline,
+            on_progress=on_progress, on_accepted=on_accepted,
+        )

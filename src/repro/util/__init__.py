@@ -9,14 +9,18 @@ from .budget import (
     verdict_of,
 )
 from .metrics import Stats, peak_rss_kb, stage
+from .retry import BackoffPolicy, RetriesExhausted, retry_call
 from .tables import check, render_table
 
 __all__ = [
+    "BackoffPolicy",
     "BudgetExhausted",
     "CancellationToken",
     "Exhaustion",
+    "RetriesExhausted",
     "RunBudget",
     "Stats",
+    "retry_call",
     "check",
     "exit_code_for",
     "peak_rss_kb",

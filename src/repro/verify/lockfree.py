@@ -81,6 +81,7 @@ def check_lock_freedom_auto(
     fault_plan=None,
     shard_states: Optional[int] = None,
     engine: Optional[str] = None,
+    impl_system=None,
 ) -> LockFreedomResult:
     """Theorem 5.9: fully automatic lock-freedom check.
 
@@ -109,6 +110,11 @@ def check_lock_freedom_auto(
     With a :class:`~repro.util.budget.RunBudget` the check is governed
     end to end: exhaustion yields ``lock_free=None`` (``UNKNOWN``) with
     the exhaustion record attached -- it never raises.
+
+    ``impl_system``, when given, is a pre-explored object system to
+    check instead of exploring here (the verification service daemon
+    explores once, under checkpoint/resume, and shares the frozen
+    system); it must come from the same program and bounds.
     """
     if workload is None:
         raise ValueError("a workload (method/argument universe) is required")
@@ -123,10 +129,18 @@ def check_lock_freedom_auto(
     impl_states = quotient_states = 0
     t0 = time.perf_counter()
     try:
-        impl = maybe_parallel_explore(
-            program, config, workers=workers, fault_plan=fault_plan,
-            shard_states=shard_states, stats=stats, budget=budget,
-        )
+        if impl_system is not None:
+            # A pre-explored object system (the service daemon explores
+            # once -- with checkpoint/resume -- and shares the result,
+            # mirroring check_linearizability's impl_system path).
+            impl = impl_system
+            if stats is not None:
+                stats.count("shared_impl_states", impl.num_states)
+        else:
+            impl = maybe_parallel_explore(
+                program, config, workers=workers, fault_plan=fault_plan,
+                shard_states=shard_states, stats=stats, budget=budget,
+            )
         impl_states = impl.num_states
         with stage(stats, "quotient"):
             quotient = quotient_lts(

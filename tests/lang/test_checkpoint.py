@@ -232,3 +232,75 @@ def test_checkpoint_sink_throttles(tmp_path):
     assert sink.maybe_save(cp) is True   # first call always saves
     assert sink.maybe_save(cp) is False  # within the interval
     assert sink.saves == 1
+
+
+# ----------------------------------------------------------------------
+# torn writes and opportunistic (quarantining) loads
+# ----------------------------------------------------------------------
+
+def _real_checkpoint_bytes(tmp_path):
+    """A genuine on-disk checkpoint, for truncation experiments."""
+    program, config = _bench_config("treiber")
+    capped = ClientConfig(
+        num_threads=config.num_threads,
+        ops_per_thread=config.ops_per_thread,
+        workload=config.workload,
+        max_states=200,
+    )
+    path = tmp_path / "whole.ckpt"
+    with pytest.raises(BudgetExhausted):
+        explore(program, capped,
+                checkpoint=CheckpointSink(str(path), interval_seconds=0.0))
+    return path.read_bytes()
+
+
+@pytest.mark.parametrize("keep", [1, 17, 0.5])
+def test_torn_checkpoint_raises_checkpoint_error(keep, tmp_path):
+    # Truncate a real checkpoint at several points (1 byte, a prefix,
+    # half the file): every torn image must surface as CheckpointError,
+    # never a raw pickle exception.
+    data = _real_checkpoint_bytes(tmp_path)
+    cut = keep if isinstance(keep, int) else int(len(data) * keep)
+    torn = tmp_path / "torn.ckpt"
+    torn.write_bytes(data[:cut])
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(torn))
+
+
+def test_quarantine_load_returns_none_for_missing_file(tmp_path):
+    from repro.lang.checkpoint import load_checkpoint_or_quarantine
+    assert load_checkpoint_or_quarantine(str(tmp_path / "absent.ckpt")) is None
+    assert list(tmp_path.iterdir()) == []  # nothing quarantined
+
+
+def test_quarantine_load_moves_torn_file_aside(tmp_path):
+    from repro.lang.checkpoint import load_checkpoint_or_quarantine
+    data = _real_checkpoint_bytes(tmp_path)
+    torn = tmp_path / "torn.ckpt"
+    torn.write_bytes(data[:len(data) // 2])
+    assert load_checkpoint_or_quarantine(str(torn)) is None
+    assert not torn.exists()
+    quarantined = tmp_path / "torn.ckpt.corrupt"
+    assert quarantined.exists()
+    # The evidence is preserved byte-for-byte for debugging.
+    assert quarantined.read_bytes() == data[:len(data) // 2]
+
+
+def test_quarantine_load_passes_good_checkpoints_through(tmp_path):
+    from repro.lang.checkpoint import load_checkpoint_or_quarantine
+    program, config = _bench_config("treiber")
+    full = explore(program, config)
+    capped = ClientConfig(
+        num_threads=config.num_threads,
+        ops_per_thread=config.ops_per_thread,
+        workload=config.workload,
+        max_states=200,
+    )
+    path = tmp_path / "good.ckpt"
+    with pytest.raises(BudgetExhausted):
+        explore(program, capped,
+                checkpoint=CheckpointSink(str(path), interval_seconds=0.0))
+    checkpoint = load_checkpoint_or_quarantine(str(path))
+    assert checkpoint is not None
+    resumed = explore(program, config, resume=checkpoint)
+    assert dumps_aut(full) == dumps_aut(resumed)

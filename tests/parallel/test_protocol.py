@@ -85,3 +85,39 @@ def test_decoder_corruption_is_detected_mid_stream():
     assert decoder.feed(good) == [("progress", 0, 0, 1)]
     with pytest.raises(ProtocolError):
         decoder.feed(bad)
+
+
+def test_read_frame_honours_custom_cap():
+    big = encode_frame(("result", 0, 0, [b"x" * 4096], 0))
+    with pytest.raises(ProtocolError, match="claims"):
+        read_frame(io.BytesIO(big), max_frame_bytes=1024)
+    # The same frame passes under the default cap.
+    assert read_frame(io.BytesIO(big))[0] == "result"
+
+
+def test_decoder_rejects_oversized_frame_from_header_alone():
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    header = struct.Struct("!4sII").pack(MAGIC, 2048, 0)
+    # Only the 12-byte header is fed: the decoder must refuse before
+    # ever buffering the claimed payload.
+    with pytest.raises(ProtocolError, match="claims"):
+        decoder.feed(header)
+
+
+def test_decoder_stays_poisoned_after_protocol_error():
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    with pytest.raises(ProtocolError):
+        decoder.feed(struct.Struct("!4sII").pack(MAGIC, 2048, 0))
+    assert decoder.poisoned
+    # Even a perfectly valid frame is refused: framing sync is lost
+    # for good once the stream has lied about itself.
+    with pytest.raises(ProtocolError, match="poisoned"):
+        decoder.feed(encode_frame(("stop",)))
+    assert decoder.poisoned
+
+
+def test_decoder_accepts_frame_exactly_at_cap():
+    frame = encode_frame(("stop",))
+    payload_len = len(frame) - 12
+    decoder = FrameDecoder(max_frame_bytes=payload_len)
+    assert decoder.feed(frame) == [("stop",)]

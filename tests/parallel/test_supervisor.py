@@ -276,3 +276,34 @@ def test_parallel_equals_serial_on_random_programs(instance):
     lts = parallel_explore(program, config, _parallel(workers=2,
                                                       shard_states=8))
     assert dumps_aut(lts) == serial
+
+
+# ----------------------------------------------------------------------
+# heartbeat configuration
+# ----------------------------------------------------------------------
+
+def test_heartbeat_interval_must_leave_room_for_the_grace_window():
+    program, config = _bench_config("treiber")
+    budget = RunBudget()
+    # Interval at (or above) the liveness timeout: every worker would be
+    # declared hung between two of its own beats.
+    bad = _parallel(heartbeat_seconds=2.0, heartbeat_timeout=2.0)
+    with pytest.raises(ValueError, match="heartbeat_seconds"):
+        Supervisor(program, config, bad, budget, Stats())
+    with pytest.raises(ValueError, match="heartbeat_seconds"):
+        Supervisor(program, config,
+                   _parallel(heartbeat_seconds=0.0), budget, Stats())
+
+
+def test_custom_heartbeat_interval_preserves_determinism():
+    program, config = _bench_config("treiber")
+    serial = dumps_aut(explore(program, config))
+    parallel = _parallel(heartbeat_seconds=0.05, heartbeat_timeout=5.0)
+    assert dumps_aut(parallel_explore(program, config, parallel)) == serial
+
+
+def test_config_exposes_requeue_backoff_policy():
+    parallel = _parallel(backoff_base=0.1, backoff_cap=0.4)
+    policy = parallel.backoff_policy()
+    assert [policy.delay(n) for n in (1, 2, 3, 4)] == [0.1, 0.2, 0.4, 0.4]
+    assert policy.jitter == 0.0  # requeue scheduling stays deterministic

@@ -1,0 +1,187 @@
+"""Socket transport: addressing, framed round trips, failure surfaces."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.parallel.protocol import encode_frame
+from repro.service.channel import (
+    ServiceError,
+    ServiceTimeout,
+    SocketFrameChannel,
+    listen_socket,
+    parse_address,
+)
+from repro.util.retry import BackoffPolicy
+
+
+# ----------------------------------------------------------------------
+# addressing
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec,expected", [
+    ("127.0.0.1:8080", ("tcp", ("127.0.0.1", 8080))),
+    (":9000", ("tcp", ("127.0.0.1", 9000))),
+    ("example.test:1", ("tcp", ("example.test", 1))),
+    ("/tmp/repro.sock", ("unix", "/tmp/repro.sock")),
+    ("relative.sock", ("unix", "relative.sock")),
+    ("weird:path", ("unix", "weird:path")),  # non-numeric port = a path
+])
+def test_parse_address(spec, expected):
+    assert parse_address(spec) == expected
+
+
+# ----------------------------------------------------------------------
+# transport
+# ----------------------------------------------------------------------
+
+def _accept_channel(listener):
+    sock, _ = listener.accept()
+    return SocketFrameChannel(sock)
+
+
+def _serve_once(tmp_path, handler):
+    """Run ``handler(server_channel)`` against a connecting client."""
+    spec = str(tmp_path / "chan.sock")
+    listener = listen_socket(spec)
+    done = threading.Event()
+
+    def _server():
+        with _accept_channel(listener) as server:
+            handler(server)
+        done.set()
+
+    thread = threading.Thread(target=_server, daemon=True)
+    thread.start()
+    client = SocketFrameChannel.connect(spec, timeout=5.0)
+    return client, listener, done
+
+
+def test_round_trip_both_directions(tmp_path):
+    def handler(server):
+        message = server.recv(timeout=5.0)
+        server.send(("echo", message))
+
+    client, listener, done = _serve_once(tmp_path, handler)
+    with client:
+        client.send(("hello", {"n": 1}))
+        assert client.recv(timeout=5.0) == ("echo", ("hello", {"n": 1}))
+        assert done.wait(5.0)
+        assert client.recv(timeout=5.0) is None  # clean EOF
+    listener.close()
+
+
+def test_recv_timeout_raises_service_timeout(tmp_path):
+    def handler(server):
+        server.recv(timeout=5.0)  # hold the connection open, silent
+
+    client, listener, _ = _serve_once(tmp_path, handler)
+    with client:
+        with pytest.raises(ServiceTimeout):
+            client.recv(timeout=0.1)
+        client.send(("bye",))
+    listener.close()
+
+
+def test_eof_mid_frame_is_an_error(tmp_path):
+    def handler(server):
+        frame = encode_frame(("result", "x" * 64))
+        server.sock.sendall(frame[:len(frame) - 5])  # then close
+
+    client, listener, done = _serve_once(tmp_path, handler)
+    with client:
+        assert done.wait(5.0)
+        with pytest.raises(ServiceError, match="mid-frame"):
+            while client.recv(timeout=5.0) is not None:
+                pass
+    listener.close()
+
+
+def test_oversized_frame_refused_by_receiver(tmp_path):
+    def handler(server):
+        server.sock.sendall(encode_frame(("blob", b"y" * 4096)))
+
+    spec_client = None
+
+    def _connect(spec):
+        nonlocal spec_client
+        spec_client = SocketFrameChannel.connect(
+            spec, timeout=5.0, max_frame_bytes=256,
+        )
+        return spec_client
+
+    spec = str(tmp_path / "cap.sock")
+    listener = listen_socket(spec)
+    thread = threading.Thread(
+        target=lambda: handler(_accept_channel(listener)), daemon=True
+    )
+    thread.start()
+    with _connect(spec) as client:
+        with pytest.raises(ServiceError, match="protocol fault"):
+            client.recv(timeout=5.0)
+    listener.close()
+
+
+def test_connect_retries_then_gives_up(tmp_path):
+    missing = str(tmp_path / "nobody-home.sock")
+    slept = []
+    with pytest.raises(ServiceError, match="cannot connect"):
+        SocketFrameChannel.connect(
+            missing, timeout=1.0, attempts=3,
+            policy=BackoffPolicy(base=0.01, cap=0.04),
+            sleep=slept.append,
+        )
+    assert len(slept) == 2  # backoff between the three attempts
+
+
+def test_connect_succeeds_after_daemon_comes_up(tmp_path):
+    # The reconnect story: first attempts are refused, then the
+    # "daemon" binds and the retrying connect lands.
+    spec = str(tmp_path / "late.sock")
+    state = {"listener": None}
+
+    def _sleep(_delay):
+        if state["listener"] is None:
+            state["listener"] = listen_socket(spec)
+
+    client = SocketFrameChannel.connect(
+        spec, timeout=5.0, attempts=5,
+        policy=BackoffPolicy(base=0.01, cap=0.04), sleep=_sleep,
+    )
+    client.close()
+    state["listener"].close()
+
+
+def test_tcp_listen_and_connect_port_zero():
+    listener = listen_socket("127.0.0.1:0")
+    port = listener.getsockname()[1]
+
+    def handler():
+        sock, _ = listener.accept()
+        with SocketFrameChannel(sock) as server:
+            server.send(("hi",))
+
+    thread = threading.Thread(target=handler, daemon=True)
+    thread.start()
+    with SocketFrameChannel.connect(f"127.0.0.1:{port}", timeout=5.0) as ch:
+        assert ch.recv(timeout=5.0) == ("hi",)
+    listener.close()
+
+
+def test_stale_unix_socket_path_is_reclaimed(tmp_path):
+    spec = str(tmp_path / "stale.sock")
+    first = listen_socket(spec)
+    first.close()  # path left behind, as after SIGKILL
+    second = listen_socket(spec)  # must not raise EADDRINUSE
+    second.close()
+
+
+def test_send_on_closed_socket_raises(tmp_path):
+    spec = str(tmp_path / "closed.sock")
+    listener = listen_socket(spec)
+    client = SocketFrameChannel.connect(spec, timeout=5.0)
+    client.sock.close()
+    with pytest.raises((ServiceError, OSError)):
+        client.send(("hello",))
+    listener.close()

@@ -1,0 +1,96 @@
+"""Registry-wide parity: a verdict through serve+submit == the direct run.
+
+The acceptance criterion for the service PR: for every object in the
+registry, submitting through the daemon yields the same verdict, the
+same exit-code mapping, and (for FALSE objects) the same rendered
+counterexample as calling the pipeline directly -- the daemon adds
+transport, queueing and caching, never a different answer.
+
+Bounds mirror ``tests/verify/test_reachability_parity.py``: 2x2 where
+that completes quickly, 2x1 for the heavyweight list objects.
+"""
+
+import pytest
+
+from repro.objects import BENCHMARKS, get
+from repro.service import DaemonConfig, ServiceClient, VerificationDaemon
+from repro.util.budget import exit_code_for
+from repro.verify import check_linearizability, check_lock_freedom_auto
+
+#: (threads, ops) per object; default 2x2, heavy objects at 2x1.
+_SMALL_BOUNDS = {
+    "dglm_queue": (2, 1),
+    "hm_list": (2, 1),
+    "lazy_list": (2, 1),
+    "ms_queue": (2, 1),
+    "optimistic_list": (2, 1),
+}
+
+CASES = [
+    (key, *_SMALL_BOUNDS.get(key, (2, 2))) for key in sorted(BENCHMARKS)
+]
+
+#: Objects whose lock-freedom the registry marks decidable at 2x2;
+#: a small slice keeps the lockfree leg cheap while covering both
+#: verdicts and the diagnostic rendering.
+_LOCKFREE_CASES = ["treiber", "newcas", "treiber_hp_buggy"]
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    root = tmp_path_factory.mktemp("service-parity")
+    daemon = VerificationDaemon(DaemonConfig(
+        socket=str(root / "svc.sock"),
+        state_dir=str(root / "state"),
+        queue_size=4,
+        job_workers=1,
+    ))
+    endpoint = daemon.start()
+    yield endpoint
+    daemon.shutdown()
+    daemon.join(timeout=60.0)
+
+
+def _submit(endpoint, **request):
+    with ServiceClient.connect(endpoint) as client:
+        return client.submit_and_wait(request, timeout=120.0)
+
+
+@pytest.mark.parametrize(
+    "key,threads,ops", CASES, ids=[f"{k}_{t}x{o}" for k, t, o in CASES]
+)
+def test_lin_verdict_through_service_matches_direct(service, key, threads,
+                                                    ops):
+    bench = get(key)
+    direct = check_linearizability(
+        bench.build(threads), bench.spec(),
+        num_threads=threads, ops_per_thread=ops,
+        workload=bench.default_workload(),
+    )
+    served = _submit(service, kind="lin", key=key, threads=threads, ops=ops)
+
+    assert served["verdict"] == direct.verdict
+    assert served["exit_code"] == exit_code_for(direct.verdict)
+    if direct.linearizable is False:
+        # The rendered counterexample must be byte-identical: the CLI
+        # prints exactly this string on both paths.
+        assert served["counterexample"] == direct.render_counterexample()
+    else:
+        assert served["counterexample"] is None
+
+
+@pytest.mark.parametrize("key", _LOCKFREE_CASES)
+def test_lockfree_verdict_through_service_matches_direct(service, key):
+    bench = get(key)
+    direct = check_lock_freedom_auto(
+        bench.build(2), num_threads=2, ops_per_thread=2,
+        workload=bench.default_workload(),
+    )
+    served = _submit(service, kind="lockfree", key=key)
+
+    assert served["verdict"] == direct.verdict
+    assert served["exit_code"] == exit_code_for(direct.verdict)
+    if direct.lock_free is False:
+        assert served["diagnostic"] == direct.render_diagnostic()
+    else:
+        assert served["diagnostic"] is None
