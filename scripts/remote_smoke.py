@@ -1,0 +1,176 @@
+#!/usr/bin/env python
+"""End-to-end remote worker pool smoke: real processes, real sockets.
+
+The process-level counterpart of ``tests/parallel/test_remote.py``
+(which serves workers from threads).  Scenario, as run by the CI
+``remote-smoke`` job:
+
+1. serial ``repro explore hm_list`` (2x2) as the byte-level ground
+   truth;
+2. two real ``repro worker --listen`` processes on kernel-assigned TCP
+   ports, one injecting ``drop-conn:1@50`` -- a supervisor sharding
+   across both must recover the dropped session and still produce a
+   byte-identical ``.aut``;
+3. a ``stall-socket`` worker under ``--heartbeat-timeout 2``: silence
+   detection must reap and redial it, byte-identically again;
+4. a forced ``partition@2`` with ``--checkpoint``: every remote is
+   dropped at once, a salvage checkpoint must land on disk, the run
+   must still finish (local-fork rung) with exit 0, and a *serial*
+   resume from the salvage checkpoint must also match byte-for-byte;
+5. all remote workers SIGKILLed before the run even dials: the
+   degradation ladder must carry the run to local forks, exit 0,
+   byte-identical.
+
+Exits 0 when every step holds, 1 with a diagnostic otherwise.
+"""
+
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+
+OBJECT = "hm_list"
+BOUNDS = ["--threads", "2", "--ops", "2"]
+
+
+def log(message):
+    print(f"[remote-smoke] {message}", flush=True)
+
+
+def fail(message):
+    log(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def start_worker(env, fault_plan=None):
+    """Start ``repro worker --listen 127.0.0.1:0``; returns (proc, addr)."""
+    argv = [sys.executable, "-m", "repro", "worker",
+            "--listen", "127.0.0.1:0"]
+    if fault_plan:
+        argv += ["--fault-plan", fault_plan]
+    proc = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    match = re.match(r"worker listening on (\S+)", line)
+    if not match:
+        proc.kill()
+        fail(f"worker did not announce an address: {line!r}")
+    return proc, match.group(1)
+
+
+def explore(out, env, extra=(), expect_exit=0):
+    argv = [sys.executable, "-m", "repro", "explore", OBJECT,
+            *BOUNDS, "--out", out, *extra]
+    result = subprocess.run(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    if result.returncode != expect_exit:
+        fail(f"{' '.join(argv)} exited {result.returncode}, expected "
+             f"{expect_exit}:\n{result.stdout}")
+    return result
+
+
+def expect_identical(serial, candidate, what):
+    with open(serial, "rb") as a, open(candidate, "rb") as b:
+        if a.read() != b.read():
+            fail(f"{what}: {candidate} differs from serial {serial}")
+    log(f"{what}: byte-identical")
+
+
+def reap(*procs):
+    for proc in procs:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+    for proc in procs:
+        try:
+            proc.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            pass
+
+
+def main():
+    root = tempfile.mkdtemp(prefix="repro-remote-smoke-")
+    env = dict(os.environ)
+    serial = os.path.join(root, "serial.aut")
+
+    log(f"serial ground truth: repro explore {OBJECT} 2x2")
+    explore(serial, env)
+
+    # -- 1. two TCP workers, drop-conn mid-wave -----------------------
+    w_plain, addr_plain = start_worker(env)
+    w_drop, addr_drop = start_worker(env, fault_plan="drop-conn:1@50")
+    log(f"workers up at {addr_plain} (clean) and {addr_drop} (drop-conn)")
+    try:
+        out = os.path.join(root, "remote.aut")
+        result = explore(out, env, extra=[
+            "--workers", "2", "--remote", f"{addr_plain},{addr_drop}",
+            "--stats",
+        ])
+        expect_identical(serial, out, "2-worker remote pool with drop-conn")
+        if "remote_redials=" not in result.stdout:
+            fail("drop-conn run never redialed the dropped worker:\n"
+                 + result.stdout)
+
+        # -- 2. stall-socket under a tight heartbeat ------------------
+        w_stall, addr_stall = start_worker(
+            env, fault_plan="stall-socket:1@50",
+        )
+        log(f"stall-socket worker up at {addr_stall}")
+        try:
+            out = os.path.join(root, "stall.aut")
+            result = explore(out, env, extra=[
+                "--workers", "2",
+                "--remote", f"{addr_plain},{addr_stall}",
+                "--heartbeat-timeout", "2.0", "--stats",
+            ])
+            expect_identical(serial, out, "stall-socket under heartbeat")
+            if "worker_hangs=" not in result.stdout:
+                fail("stall-socket was never detected as a hang:\n"
+                     + result.stdout)
+        finally:
+            reap(w_stall)
+
+        # -- 3. forced partition salvages a checkpoint ----------------
+        ckpt = os.path.join(root, "salvage.ckpt")
+        out = os.path.join(root, "partition.aut")
+        result = explore(out, env, extra=[
+            "--workers", "2", "--remote", f"{addr_plain},{addr_drop}",
+            "--fault-plan", "partition@2", "--checkpoint", ckpt,
+            "--stats",
+        ])
+        expect_identical(serial, out, "forced partition, local-fork rung")
+        if "partitions=1" not in result.stdout:
+            fail("partition fault never fired:\n" + result.stdout)
+        if not os.path.exists(ckpt):
+            fail("no salvage checkpoint after the forced partition")
+        out = os.path.join(root, "resumed.aut")
+        explore(out, env, extra=["--resume", ckpt])
+        expect_identical(serial, out, "serial resume from salvage")
+    finally:
+        reap(w_plain, w_drop)
+
+    # -- 4. every remote dead: degrade to forks, exit 0 ---------------
+    log("all workers SIGKILLed; run must degrade to local forks")
+    out = os.path.join(root, "degraded.aut")
+    result = explore(out, env, extra=[
+        "--workers", "2", "--remote", f"{addr_plain},{addr_drop}",
+        "--stats",
+    ])
+    expect_identical(serial, out, "degradation ladder to local forks")
+    if "degraded_to_local=1" not in result.stdout:
+        fail("dead remote pool did not degrade to local forks:\n"
+             + result.stdout)
+
+    shutil.rmtree(root, ignore_errors=True)
+    log("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

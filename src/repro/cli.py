@@ -153,6 +153,24 @@ def _add_parallel(parser: argparse.ArgumentParser) -> None:
                              "'kill:1@40,stall:*@10,corrupt:0@5'")
     parser.add_argument("--shard-states", type=int, default=None, metavar="K",
                         help="frontier states per work shard (default 128)")
+    parser.add_argument("--remote", default=None, metavar="ADDRS",
+                        help="comma-separated remote worker addresses "
+                             "(HOST:PORT or Unix socket paths) running "
+                             "'repro worker --listen'; shards are dispatched "
+                             "over RPX1 sockets, output stays byte-identical")
+    parser.add_argument("--remote-listen", default=None, metavar="ADDR",
+                        help="accept agent-mode workers ('repro worker "
+                             "--connect') dialing in on this address")
+    parser.add_argument("--transport", default=None,
+                        choices=("auto", "local", "remote", "mixed"),
+                        help="worker provisioning: local forks, remote "
+                             "sockets, or a mixed pool (default: auto -- "
+                             "remote iff --remote/--remote-listen given)")
+    parser.add_argument("--heartbeat-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="silence window before a busy worker is "
+                             "declared hung and its shard requeued "
+                             "(default 10)")
 
 
 def _budget_from(args) -> RunBudget:
@@ -438,6 +456,9 @@ def cmd_lin(args) -> int:
             budget=budget,
             workers=args.workers, fault_plan=args.fault_plan,
             shard_states=args.shard_states,
+            remote=args.remote, remote_listen=args.remote_listen,
+            transport=args.transport,
+            heartbeat_timeout=args.heartbeat_timeout,
             spec_checkpoint=spec_sink if original else None,
             spec_resume=spec_resume if original else None,
             engine=args.engine,
@@ -454,6 +475,9 @@ def cmd_lin(args) -> int:
             budget=budget,
             workers=args.workers, fault_plan=args.fault_plan,
             shard_states=args.shard_states,
+            remote=args.remote, remote_listen=args.remote_listen,
+            transport=args.transport,
+            heartbeat_timeout=args.heartbeat_timeout,
             on_the_fly=on_the_fly,
         )
 
@@ -480,6 +504,9 @@ def cmd_lin(args) -> int:
             budget=budget,
             workers=args.workers, fault_plan=args.fault_plan,
             shard_states=args.shard_states,
+            remote=args.remote, remote_listen=args.remote_listen,
+            transport=args.transport,
+            heartbeat_timeout=args.heartbeat_timeout,
             spec_checkpoint=spec_sink if original else None,
             spec_resume=spec_resume if original else None,
             engine=args.engine,
@@ -570,6 +597,9 @@ def cmd_lockfree(args) -> int:
             budget=budget,
             workers=args.workers, fault_plan=args.fault_plan,
             shard_states=args.shard_states,
+            remote=args.remote, remote_listen=args.remote_listen,
+            transport=args.transport,
+            heartbeat_timeout=args.heartbeat_timeout,
             engine=args.engine,
         )
 
@@ -603,7 +633,10 @@ def cmd_explore(args) -> int:
             system = maybe_parallel_explore(
                 bench.build(args.threads), config,
                 workers=args.workers, fault_plan=args.fault_plan,
-                shard_states=args.shard_states, stats=stats,
+                shard_states=args.shard_states,
+                remote=args.remote, remote_listen=args.remote_listen,
+                transport=args.transport,
+                heartbeat_timeout=args.heartbeat_timeout, stats=stats,
                 budget=budget, checkpoint=sink, resume=resume,
             )
         except BudgetExhausted as exc:
@@ -795,6 +828,34 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_worker(args) -> int:
+    """Run one remote exploration worker (listen or agent mode)."""
+    # Lazy import: the remote runtime pulls in the service package.
+    from .parallel.faults import FaultPlan
+    from .parallel.remote import WorkerRuntime
+
+    runtime = WorkerRuntime(
+        listen=args.listen,
+        connect=args.connect,
+        fault_plan=FaultPlan.parse(args.fault_plan),
+        max_sessions=args.max_sessions,
+    )
+    if args.listen is not None:
+        # Port 0 resolves to the kernel-assigned port; scripts parse
+        # this line to learn the address, so keep its shape stable.
+        address = runtime.bind()
+        print(f"worker listening on {address}", flush=True)
+    else:
+        print(f"worker dialing supervisor at {args.connect}", flush=True)
+    try:
+        served = runtime.serve_forever()
+    except KeyboardInterrupt:
+        runtime.stop()
+        served = runtime.sessions_served
+    print(f"worker stopped after {served} session(s)")
+    return 0
+
+
 def _print_service_result(result: Dict) -> None:
     """Render a service result dict the way the direct commands do."""
     notes = []
@@ -875,11 +936,31 @@ def cmd_submit(args) -> int:
         detail = " ".join(f"{k}={v}" for k, v in sorted(payload.items()))
         print(f"progress: {detail}", flush=True)
 
+    attempts = args.connect_attempts
+    if args.retries is not None:
+        if args.retries < 1:
+            print("--retries must be >= 1", file=sys.stderr)
+            return EXIT_UNKNOWN
+        attempts = args.retries
+    policy = None
+    if args.retry_backoff is not None:
+        from .util.retry import BackoffPolicy
+
+        base, _, cap = args.retry_backoff.partition(":")
+        try:
+            policy = BackoffPolicy(
+                base=float(base), cap=float(cap) if cap else 2.0, jitter=0.5,
+            )
+        except ValueError:
+            print(f"bad --retry-backoff {args.retry_backoff!r} "
+                  "(expected BASE or BASE:CAP seconds)", file=sys.stderr)
+            return EXIT_UNKNOWN
     try:
         result = submit_request(
             args.socket, request,
             connect_timeout=args.connect_timeout,
-            connect_attempts=args.connect_attempts,
+            connect_attempts=attempts,
+            connect_policy=policy,
             timeout=args.timeout,
             on_progress=on_progress,
             on_accepted=on_accepted,
@@ -1056,6 +1137,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="default per-job wall-clock budget (a request's "
                             "own deadline overrides it)")
 
+    worker = commands.add_parser(
+        "worker", help="run a remote exploration worker for --remote pools",
+    )
+    worker_mode = worker.add_mutually_exclusive_group(required=True)
+    worker_mode.add_argument("--listen", default=None,
+                             metavar="PATH|HOST:PORT",
+                             help="serve supervisors that dial this address "
+                                  "(HOST:0 picks a free TCP port and prints "
+                                  "it)")
+    worker_mode.add_argument("--connect", default=None,
+                             metavar="PATH|HOST:PORT",
+                             help="agent mode: dial a supervisor's "
+                                  "--remote-listen endpoint (re-dials with "
+                                  "decorrelated backoff between sessions)")
+    worker.add_argument("--fault-plan", default=None, metavar="SPEC",
+                        help="inject failures locally, overriding the plan "
+                             "shipped by the supervisor (testing/CI)")
+    worker.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                        help="exit after serving N supervisor sessions "
+                             "(default: run until killed)")
+
     submit = commands.add_parser(
         "submit", help="submit one job to a running verification daemon",
     )
@@ -1082,6 +1184,14 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="N",
                         help="connect retries with capped backoff + jitter "
                              "(default 3; rides out a daemon restart)")
+    submit.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="alias for --connect-attempts (total connect "
+                             "attempts; takes precedence when both given)")
+    submit.add_argument("--retry-backoff", default=None,
+                        metavar="BASE[:CAP]",
+                        help="reconnect backoff schedule in seconds, e.g. "
+                             "'0.1' or '0.1:2.0' (default 0.05:2.0 with "
+                             "jitter)")
     return parser
 
 
@@ -1096,6 +1206,7 @@ HANDLERS = {
     "bugs": cmd_bugs,
     "fuzz": cmd_fuzz,
     "serve": cmd_serve,
+    "worker": cmd_worker,
     "submit": cmd_submit,
 }
 

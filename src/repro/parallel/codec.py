@@ -1,0 +1,104 @@
+"""Wire codec for shipping programs to *remote* workers.
+
+Forked workers inherit the program through ``os.fork`` memory, so the
+pipe transport never serializes it.  A remote worker has no shared
+memory, and benchmark programs are ASTs full of guard/update
+**lambdas** (``If(lambda L: ...)``), which the stdlib pickler refuses
+("Can't pickle local object").  This module extends pickle with
+by-value serialization for exactly those functions: the code object
+goes through :mod:`marshal`, plus name, defaults and captured closure
+cells (whose contents recurse through the same pickler, so nested
+lambdas work).  Module-level functions still pickle by reference.
+
+``marshal`` bytecode is CPython-version-specific, so a supervisor and
+its remote workers must run the same ``major.minor`` interpreter; the
+handshake ships :data:`WIRE_PYTHON` and the worker refuses a mismatch
+with a clear error instead of crashing inside ``marshal.loads``.
+
+Security note: this is the same trust model as the rest of the RPX1
+protocol -- frames are pickled, so a worker endpoint must only ever be
+exposed to trusted supervisors (and vice versa).  Bind to localhost,
+a private network, or Unix sockets.
+"""
+
+from __future__ import annotations
+
+import io
+import marshal
+import pickle
+import sys
+import types
+from typing import Any, Optional, Tuple
+
+#: Interpreter fingerprint both sides must share for marshal'd code.
+WIRE_PYTHON: Tuple[int, int] = (sys.version_info[0], sys.version_info[1])
+
+
+class CodecError(Exception):
+    """A program could not be serialized for (or rebuilt from) the wire."""
+
+
+def _rebuild_function(
+    code_bytes: bytes,
+    module: str,
+    name: str,
+    qualname: str,
+    defaults: Optional[Tuple[Any, ...]],
+    closure_values: Optional[Tuple[Any, ...]],
+) -> types.FunctionType:
+    code = marshal.loads(code_bytes)
+    globs = sys.modules[module].__dict__ if module in sys.modules else {}
+    globs.setdefault("__builtins__", __builtins__)
+    closure = None
+    if closure_values is not None:
+        closure = tuple(types.CellType(value) for value in closure_values)
+    fn = types.FunctionType(code, globs, name, defaults, closure)
+    fn.__qualname__ = qualname
+    fn.__module__ = module
+    return fn
+
+
+class _ProgramPickler(pickle.Pickler):
+    """Pickle local/lambda functions by value, everything else as usual."""
+
+    def reducer_override(self, obj: Any) -> Any:
+        if isinstance(obj, types.FunctionType) and (
+            "<locals>" in obj.__qualname__ or obj.__name__ == "<lambda>"
+        ):
+            closure_values: Optional[Tuple[Any, ...]] = None
+            if obj.__closure__ is not None:
+                closure_values = tuple(
+                    cell.cell_contents for cell in obj.__closure__
+                )
+            return (
+                _rebuild_function,
+                (
+                    marshal.dumps(obj.__code__),
+                    obj.__module__ or "",
+                    obj.__name__,
+                    obj.__qualname__,
+                    obj.__defaults__,
+                    closure_values,
+                ),
+            )
+        return NotImplemented
+
+
+def dumps_program(program: Any, config: Any) -> bytes:
+    """Serialize ``(program, config)`` for an init frame."""
+    buffer = io.BytesIO()
+    try:
+        _ProgramPickler(
+            buffer, protocol=pickle.HIGHEST_PROTOCOL
+        ).dump((program, config))
+    except Exception as exc:
+        raise CodecError(f"program does not serialize: {exc}") from exc
+    return buffer.getvalue()
+
+
+def loads_program(blob: bytes) -> Tuple[Any, Any]:
+    """Rebuild ``(program, config)`` from :func:`dumps_program` output."""
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise CodecError(f"program does not deserialize: {exc}") from exc

@@ -45,6 +45,24 @@ state with no recorded expansion (exactly a serial safe point, so a
 *serial* ``--resume`` works unchanged) and the not-yet-replayed
 expansions ride along in ``Checkpoint.expansions`` so a *parallel*
 resume loses no finished work either.
+
+Workers are *provisioned* through a pluggable transport: the default
+:class:`LocalForkTransport` forks children over pipes (the original PR
+5 behavior), while :class:`repro.parallel.remote.RemoteTransport`
+dials ``repro worker`` processes over TCP/Unix sockets (optionally
+mixing in local forks).  Both produce endpoints with the same
+``fileno``/``send_frame``/``read_chunk`` surface, so dispatch, acks,
+hang detection and the whole failure model above are shared verbatim.
+The network adds its own failure kinds on top -- connection loss
+(redialed under a decorrelated-jitter backoff with a retry budget),
+silent sockets (the existing heartbeat grace window), corrupted frames
+(the existing CRC rejection), and wave-boundary *partitions* that sever
+every remote at once -- and one extra degradation rung: when the whole
+remote pool is written off, the supervisor salvages a checkpoint and
+falls back to local forks before the final in-process-serial rung.
+``remote`` is imported lazily (only when a remote transport is
+configured): it pulls in :mod:`repro.service.channel`, whose package
+``__init__`` imports the daemon, which imports this module back.
 """
 
 from __future__ import annotations
@@ -71,8 +89,10 @@ from ..util.metrics import Stats
 from ..util.retry import BackoffPolicy
 from .faults import FaultPlan
 from .protocol import (
+    MSG_ACK,
     MSG_ERROR,
     MSG_EXHAUSTED,
+    MSG_HEARTBEAT,
     MSG_HELLO,
     MSG_PROGRESS,
     MSG_RESULT,
@@ -86,6 +106,30 @@ from .worker import worker_main
 #: Upper bound on one ``select`` wait, so SIGINT tokens, backoff expiry
 #: and hang deadlines are observed promptly.
 _POLL_SECONDS = 0.25
+
+
+def _same_content(a: Any, b: Any) -> bool:
+    """``==`` plus exact types, recursively through the key tuples.
+
+    State keys are nested tuples of scalars, and Python's numeric tower
+    makes ``False == 0 == 0.0`` -- so two states whose values differ
+    only in bool/int/float flavor collide in any ``==``-keyed table.
+    Serial exploration conflates them too (they behave identically),
+    but it renders labels from the representative *it* discovered
+    first; the wave loop discovers in BFS layer order and may pick the
+    other one.  The replay uses this check to spot such aliased table
+    entries and re-expand with the serial-order representative, keeping
+    the output byte-identical.
+    """
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if type(a) is tuple or isinstance(a, tuple):
+        return len(a) == len(b) and all(
+            _same_content(x, y) for x, y in zip(a, b)
+        )
+    return a == b
 
 
 @dataclass
@@ -134,14 +178,52 @@ class ParallelConfig:
     #: Injected failures (``kill:1@40,stall:*@10`` ...); see
     #: :mod:`repro.parallel.faults`.
     fault_plan: Optional[FaultPlan] = None
+    #: Remote worker addresses (``host:port`` or Unix socket paths).
+    #: Address ``i`` owns the stable worker index ``i`` across redials,
+    #: so fault plans can target a specific machine.
+    remote: Tuple[str, ...] = ()
+    #: Accept *agent-mode* workers (``repro worker --connect``) dialing
+    #: in on this address; adopted agents join the pool with indices
+    #: above the ``remote`` slot range.
+    remote_listen: Optional[str] = None
+    #: ``auto`` (remote iff ``remote``/``remote_listen`` configured),
+    #: ``local`` (fork only), ``remote`` (sockets, forks only after the
+    #: whole remote pool is written off), or ``mixed`` (sockets plus
+    #: forks as first-class pool members from the start).
+    transport: str = "auto"
+    #: Consecutive failed redials of one remote address before that
+    #: slot is written off.
+    remote_redial_budget: int = 3
+    #: Per-connect (dial + init/hello handshake) deadline, seconds.
+    remote_connect_timeout: float = 5.0
+    #: Bound on one blocking frame send to a remote worker, seconds;
+    #: past it the connection is treated as lost.
+    remote_send_timeout: float = 30.0
 
     def backoff_policy(self) -> BackoffPolicy:
         """The requeue delay schedule as a shared policy object."""
         return BackoffPolicy(base=self.backoff_base, cap=self.backoff_cap)
 
+    def redial_policy(self) -> BackoffPolicy:
+        """Remote-redial schedule: same base/cap as shard requeues but
+        with *decorrelated jitter* -- several slots (or several
+        supervisors) redialing one recovered host must not stampede it
+        in lockstep."""
+        return BackoffPolicy(
+            base=self.backoff_base, cap=self.backoff_cap, decorrelated=True
+        )
+
 
 @dataclass
 class _Worker:
+    """A forked pipe worker, presenting the shared endpoint surface.
+
+    :class:`repro.parallel.remote.RemoteEndpoint` duck-types the same
+    ``fileno``/``send_frame``/``read_chunk``/``close`` methods over a
+    socket, which is what lets the supervisor's event loop treat forked
+    and remote workers identically.
+    """
+
     index: int
     pid: int
     cmd: Any                     # buffered writer over the command pipe
@@ -149,6 +231,85 @@ class _Worker:
     decoder: FrameDecoder = field(default_factory=FrameDecoder)
     shard: Optional[Tuple[int, List[Any]]] = None
     last_frame: float = 0.0
+    acked: bool = False          # pipe workers never ack; stays False
+
+    is_remote = False            # class attr, not a dataclass field
+
+    def fileno(self) -> int:
+        return self.res_fd
+
+    def send_frame(self, data: bytes) -> None:
+        self.cmd.write(data)
+        self.cmd.flush()
+
+    def read_chunk(self) -> bytes:
+        return os.read(self.res_fd, 1 << 16)
+
+    def close(self, kill: bool = True) -> None:
+        if kill:
+            try:
+                os.kill(self.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass
+        try:
+            self.cmd.close()
+        except Exception:
+            pass
+        try:
+            os.close(self.res_fd)
+        except Exception:
+            pass
+        try:
+            os.waitpid(self.pid, 0)
+        except ChildProcessError:
+            pass
+
+    def close_in_child(self) -> None:
+        """Drop a forked child's inherited copies of this worker's fds."""
+        try:
+            self.cmd.close()
+        except Exception:
+            pass
+        try:
+            os.close(self.res_fd)
+        except Exception:
+            pass
+
+    def describe(self) -> str:
+        return f"forked worker {self.index} (pid {self.pid})"
+
+
+class LocalForkTransport:
+    """Default provisioning: fork a pipe worker per provision call."""
+
+    name = "local"
+
+    def start(self, sup: "Supervisor") -> None:
+        pass
+
+    def provision(self, sup: "Supervisor") -> Optional[_Worker]:
+        return sup._spawn()
+
+    def maintain(self, sup: "Supervisor") -> None:
+        pass
+
+    def on_lost(self, sup: "Supervisor", endpoint: Any, kind: str) -> None:
+        pass
+
+    def partition(self, sup: "Supervisor") -> None:
+        pass  # no network to sever
+
+    def capacity_wait(self, sup: "Supervisor") -> Optional[float]:
+        return None
+
+    def close_in_child(self) -> None:
+        pass
+
+    def shutdown(self, sup: "Supervisor") -> None:
+        pass
+
+    def describe(self) -> str:
+        return "local-fork"
 
 
 class Supervisor:
@@ -162,7 +323,21 @@ class Supervisor:
         budget: Optional[RunBudget] = None,
         stats: Optional[Stats] = None,
     ) -> None:
-        if parallel.workers < 1:
+        transport_kind = parallel.transport or "auto"
+        wants_remote = bool(parallel.remote) or parallel.remote_listen is not None
+        if transport_kind == "auto":
+            transport_kind = "remote" if wants_remote else "local"
+        if transport_kind not in ("local", "remote", "mixed"):
+            raise ValueError(
+                f"ParallelConfig.transport must be auto/local/remote/mixed, "
+                f"not {parallel.transport!r}"
+            )
+        if transport_kind != "local" and not wants_remote:
+            raise ValueError(
+                f"transport {transport_kind!r} needs remote addresses or a "
+                "remote_listen endpoint"
+            )
+        if parallel.workers < 1 and not wants_remote:
             raise ValueError("ParallelConfig.workers must be >= 1")
         if parallel.heartbeat_seconds <= 0:
             raise ValueError("ParallelConfig.heartbeat_seconds must be > 0")
@@ -187,18 +362,44 @@ class Supervisor:
 
         # expansion table and discovery bookkeeping
         self.expansions: Dict[Any, List[Any]] = {}
+        # key (==-equal class) -> the exact key object whose expansion
+        # is stored; lets the replay detect bool/int-aliased entries
+        # (see _same_content) without changing the table layout.
+        self.expansion_reps: Dict[Any, Any] = {}
         self.known: set = set()
         self.trans_count = 0
 
         # scheduling state
-        self.target = parallel.workers
-        self.workers: Dict[int, _Worker] = {}
+        self.target = max(parallel.workers, len(parallel.remote), 1)
+        self.workers: Dict[int, Any] = {}       # index -> endpoint
         self.selector = selectors.DefaultSelector()
         self.pending: deque = deque()           # (shard_id, keys)
         self.backoff: List[Tuple[float, int, List[Any]]] = []  # heap
         self.retries: Dict[int, int] = {}
         self.next_shard_id = 0
-        self.next_worker_index = 0
+        # Remote address slots own the stable indices 0..R-1; forked and
+        # adopted-agent workers allocate above them, so a redialed slot
+        # never collides with a fork's index.
+        self.next_worker_index = len(parallel.remote)
+        self.wave = 0
+        self._checkpoint_sink: Optional[CheckpointSink] = None
+        if transport_kind == "local":
+            self.transport: Any = LocalForkTransport()
+        else:
+            # Lazy import: remote pulls in repro.service.channel, whose
+            # package __init__ imports the daemon, which imports this
+            # module back (see module docstring).
+            from .remote import RemoteTransport
+
+            self.transport = RemoteTransport(
+                addresses=tuple(parallel.remote),
+                mixed=(transport_kind == "mixed"),
+                listen=parallel.remote_listen,
+                redial_policy=parallel.redial_policy(),
+                redial_budget=parallel.remote_redial_budget,
+                connect_timeout=parallel.remote_connect_timeout,
+                send_timeout=parallel.remote_send_timeout,
+            )
 
     # ------------------------------------------------------------------
     # counters (None-safe)
@@ -226,18 +427,18 @@ class Supervisor:
                 signal.signal(signal.SIGINT, signal.SIG_IGN)
                 os.close(cmd_w)
                 os.close(res_r)
-                # Close the parent-side fds of every sibling inherited
-                # through fork, or their EOFs would be delayed until this
-                # child exits too.
+                # Close the parent-side fds (pipes and remote sockets)
+                # of every sibling inherited through fork, or their
+                # EOFs would be delayed until this child exits too.
                 for sibling in self.workers.values():
                     try:
-                        sibling.cmd.close()
+                        sibling.close_in_child()
                     except Exception:
                         pass
-                    try:
-                        os.close(sibling.res_fd)
-                    except Exception:
-                        pass
+                try:
+                    self.transport.close_in_child()
+                except Exception:
+                    pass
                 worker_main(
                     index, self.context, cmd_r, res_w,
                     fault_plan=self.parallel.fault_plan,
@@ -253,56 +454,68 @@ class Supervisor:
             res_fd=res_r, last_frame=time.monotonic(),
         )
         self.next_worker_index += 1
-        self.workers[index] = worker
-        self.selector.register(res_r, selectors.EVENT_READ, worker)
+        return self._register(worker)
+
+    def _register(self, worker: Any) -> Any:
+        """Adopt an endpoint (forked or remote) into the event loop."""
+        self.workers[worker.index] = worker
+        self.selector.register(worker.fileno(), selectors.EVENT_READ, worker)
+        # A remote handshake may have decoded frames beyond hello
+        # (heartbeats from an eager worker); feed them through now so
+        # last_frame bookkeeping starts correct.
+        pop = getattr(worker, "pop_initial_frames", None)
+        if pop is not None:
+            for frame in pop():
+                self._handle_frame(worker, frame)
         return worker
 
-    def _reap(self, worker: _Worker, kill: bool = True) -> None:
-        """Tear one worker down (kill, close pipes, unregister, wait)."""
+    def _reap(self, worker: Any, kill: bool = True) -> None:
+        """Tear one endpoint down (kill/close, unregister, wait)."""
         self.workers.pop(worker.index, None)
         try:
-            self.selector.unregister(worker.res_fd)
-        except (KeyError, ValueError):
+            self.selector.unregister(worker.fileno())
+        except (KeyError, ValueError, OSError):
             pass
-        if kill:
-            try:
-                os.kill(worker.pid, signal.SIGKILL)
-            except ProcessLookupError:
-                pass
-        try:
-            worker.cmd.close()
-        except Exception:
-            pass
-        try:
-            os.close(worker.res_fd)
-        except Exception:
-            pass
-        try:
-            os.waitpid(worker.pid, 0)
-        except ChildProcessError:
-            pass
+        worker.close(kill=kill)
 
     _FAIL_COUNTERS = {
         "crash": "worker_crashes",
         "hang": "worker_hangs",
         "corrupt": "corrupt_frames",
+        "partition": "partition_drops",
     }
 
-    def _fail_worker(self, worker: _Worker, kind: str) -> None:
-        """Recover from a crashed / hung / corrupting worker."""
+    def _fail_worker(self, worker: Any, kind: str) -> None:
+        """Recover from a crashed / hung / corrupting / severed worker."""
         self._count(self._FAIL_COUNTERS[kind])
+        if getattr(worker, "is_remote", False) and kind != "partition":
+            self._count("remote_disconnects")
         self._reap(worker)
-        if self.parallel.fault_plan is not None:
+        if kind != "partition" and self.parallel.fault_plan is not None:
             # A fired injected fault must not re-arm in the respawned
-            # replacement (forked from this, the supervisor's, copy).
+            # replacement (forked from this, the supervisor's, copy --
+            # or redialed with the current plan shipped in init).  A
+            # partition is supervisor-side and not attributable to any
+            # one worker, so it retires nothing here.
             self.parallel.fault_plan.mark_fired(worker.index)
+        self.transport.on_lost(self, worker, kind)
         if worker.shard is not None:
-            self._requeue(worker.shard)
+            if getattr(worker, "is_remote", False) and not worker.acked:
+                # The shard frame never reached the worker (no ack):
+                # this is a delivery failure, not a shard that keeps
+                # killing its host -- replay it immediately without
+                # charging a retry.  The redial backoff already paces
+                # reconnection, so this cannot hot-loop.
+                self._count("unacked_requeues")
+                self.pending.appendleft(worker.shard)
+            else:
+                self._requeue(worker.shard)
             worker.shard = None
 
     def _shutdown(self) -> None:
         for worker in list(self.workers.values()):
             self._reap(worker)
+        self.transport.shutdown(self)
 
     # ------------------------------------------------------------------
     # shard scheduling
@@ -340,7 +553,7 @@ class Supervisor:
             self.pending.append((shard_id, keys))
 
     def _dispatch(self) -> None:
-        """Hand pending shards to idle workers, spawning up to target."""
+        """Hand pending shards to idle workers, provisioning up to target."""
         while self.pending:
             worker = next(
                 (w for w in self.workers.values() if w.shard is None), None
@@ -348,7 +561,7 @@ class Supervisor:
             if worker is None:
                 if len(self.workers) >= self.target:
                     return
-                worker = self._spawn()
+                worker = self.transport.provision(self)
                 if worker is None:
                     return
             shard = self.pending.popleft()
@@ -356,35 +569,49 @@ class Supervisor:
                 self.budget, self.parallel.shard_deadline
             )
             try:
-                worker.cmd.write(
+                worker.send_frame(
                     encode_frame((MSG_SHARD, shard[0], shard[1], allowance))
                 )
-                worker.cmd.flush()
             except (BrokenPipeError, OSError):
                 self.pending.appendleft(shard)
                 self._fail_worker(worker, "crash")
                 continue
             worker.shard = shard
+            worker.acked = False
             worker.last_frame = time.monotonic()
 
     # ------------------------------------------------------------------
     # event handling
     # ------------------------------------------------------------------
     def _record_result(
-        self, worker: _Worker, shard_id: int, pairs: List[Tuple[Any, List[Any]]]
+        self, worker: Any, shard_id: int, pairs: List[Tuple[Any, List[Any]]]
     ) -> None:
         if worker.shard is None or worker.shard[0] != shard_id:
-            return  # stale frame from a reassigned shard; ignore
+            # Stale frame from a reassigned shard (e.g. a worker that
+            # was declared hung but finished anyway): dropping it here
+            # is what makes reassignment exactly-once -- only the
+            # current assignee's result is recorded.
+            self._count("stale_results")
+            return
         for key, edges in pairs:
             if key not in self.expansions:
                 self.expansions[key] = edges
+                self.expansion_reps[key] = key
                 self.trans_count += len(edges)
         worker.shard = None
 
-    def _handle_frame(self, worker: _Worker, frame: Tuple[Any, ...]) -> None:
+    def _handle_frame(self, worker: Any, frame: Tuple[Any, ...]) -> None:
         worker.last_frame = time.monotonic()
         kind = frame[0]
-        if kind in (MSG_HELLO, MSG_PROGRESS):
+        if kind in (MSG_HELLO, MSG_PROGRESS, MSG_HEARTBEAT):
+            return
+        if kind == MSG_ACK:
+            # Remote shard receipt: on a later connection loss this is
+            # how "died mid-shard" (retry charged) is told apart from
+            # "shard never arrived" (requeued for free).
+            if worker.shard is not None and worker.shard[0] == frame[2]:
+                worker.acked = True
+                self._count("shard_acks")
             return
         if kind == MSG_RESULT:
             _k, _idx, shard_id, pairs, busy_us = frame
@@ -411,10 +638,10 @@ class Supervisor:
 
     def _poll(self, timeout: float) -> None:
         for key, _events in self.selector.select(timeout):
-            worker: _Worker = key.data
+            worker: Any = key.data
             while True:  # drain until EAGAIN so big results land fast
                 try:
-                    data = os.read(worker.res_fd, 1 << 16)
+                    data = worker.read_chunk()
                 except (BlockingIOError, InterruptedError):
                     break
                 except OSError:
@@ -500,6 +727,7 @@ class Supervisor:
         stack: List[Any] = [self.init_key]
         consumed: set = set()
         expansions = self.expansions
+        reps = self.expansion_reps
         while stack:
             key = stack.pop()
             edges = expansions.get(key)
@@ -510,6 +738,18 @@ class Supervisor:
                 raise AssertionError(
                     "expansion table does not cover the reachable closure"
                 )
+            rep = reps.get(key)
+            if rep is not None and rep is not key \
+                    and not _same_content(rep, key):
+                # The table entry was recorded for a bool/int-aliased
+                # twin of this key (same behavior, different rendering).
+                # Re-expand with *this* key -- the replay discovers in
+                # serial order, so this is the serial representative and
+                # its rendering is the byte-identical one.
+                edges = self.context.expand(key)
+                expansions[key] = edges
+                reps[key] = key
+                self._count("alias_reexpansions")
             consumed.add(key)
             for label, dst, annotation in edges:
                 _dst_id, is_new = builder.transition(key, label, dst, annotation)
@@ -554,6 +794,8 @@ class Supervisor:
             if key not in self.expansions:
                 self.expansions[key] = edges
         self.trans_count = sum(len(e) for e in self.expansions.values())
+        for key in self.expansions:
+            self.expansion_reps[key] = key
         # Frontier = every discovered-but-unexpanded key: the checkpoint
         # frontier plus destinations only reachable through salvaged
         # (never replayed) expansions.
@@ -581,6 +823,7 @@ class Supervisor:
             self._check_budget(backlog=len(keys) - done)
             edges = self.context.expand(key)
             self.expansions[key] = edges
+            self.expansion_reps[key] = key
             self.trans_count += len(edges)
 
     def _drain_serial(self) -> None:
@@ -619,11 +862,13 @@ class Supervisor:
         """
         if checkpoint is not None or resume is not None:
             self.run_id = fingerprint(self.program, self.config)
+        self._checkpoint_sink = checkpoint
         if resume is not None:
             frontier = self._load_resume(resume)
         else:
             frontier = [self.init_key]
             self.known = {self.init_key}
+        self.transport.start(self)
         try:
             try:
                 self._run_waves(frontier, checkpoint)
@@ -636,11 +881,49 @@ class Supervisor:
         builder, _stack, _consumed = self._replay(stop_on_missing=False)
         return builder.lts.freeze()
 
+    def _force_partition(self) -> None:
+        """Sever every remote connection at once (injected ``partition``).
+
+        The transport writes its whole remote pool off, which triggers
+        the outage path below -- exactly what a real network partition
+        at a wave boundary would do, minus the waiting.
+        """
+        self._count("partitions")
+        for worker in [
+            w for w in self.workers.values()
+            if getattr(w, "is_remote", False)
+        ]:
+            self._fail_worker(worker, "partition")
+        self.transport.partition(self)
+
+    def _on_remote_outage(self) -> None:
+        """Every remote slot is dead: salvage before degrading locally.
+
+        Called (once) by the transport.  The run continues -- provision
+        falls back to local forks, and failing that to in-process
+        serial -- but the checkpoint guarantees no completed expansion
+        is lost even if the degraded continuation is later killed.
+        """
+        self._count("remote_outages")
+        sink = self._checkpoint_sink
+        if sink is not None:
+            try:
+                sink.save(self._salvage_checkpoint())
+            except Exception:
+                pass  # salvage here is best-effort; exhaustion re-saves
+
     def _run_waves(
         self, frontier: List[Any], checkpoint: Optional[CheckpointSink]
     ) -> None:
         wave = list(frontier)
         while True:
+            self.wave += 1
+            plan = self.parallel.fault_plan
+            if plan is not None:
+                fault = plan.next_supervisor_fault(self.wave)
+                if fault is not None:
+                    fault.fired = True
+                    self._force_partition()
             if wave:
                 self._make_shards(wave)
             # drain the current wave
@@ -657,6 +940,7 @@ class Supervisor:
                 if self.target == 0:
                     self._drain_serial()
                     continue
+                self.transport.maintain(self)
                 self._dispatch()
                 busy = any(
                     w.shard is not None for w in self.workers.values()
@@ -677,6 +961,16 @@ class Supervisor:
                             max(0.0, self.backoff[0][0] - time.monotonic()),
                         )
                     )
+                elif self.pending:
+                    # Shards are queued but no capacity exists *yet*:
+                    # remote slots are between redial attempts, or an
+                    # agent has not dialed in.  Wait out the shorter of
+                    # one poll tick and the next due redial.
+                    wait = _POLL_SECONDS
+                    due = self.transport.capacity_wait(self)
+                    if due is not None:
+                        wait = min(wait, max(0.01, due))
+                    time.sleep(wait)
             # wave complete: next frontier from this wave's expansions,
             # in deterministic (wave order x edge order) sequence
             next_wave: List[Any] = []
@@ -727,6 +1021,10 @@ def maybe_parallel_explore(
     workers: int = 0,
     fault_plan: Any = None,
     shard_states: Optional[int] = None,
+    remote: Any = None,
+    remote_listen: Optional[str] = None,
+    transport: Optional[str] = None,
+    heartbeat_timeout: Optional[float] = None,
     stats: Optional[Stats] = None,
     budget: Optional[RunBudget] = None,
     checkpoint: Optional[CheckpointSink] = None,
@@ -738,8 +1036,25 @@ def maybe_parallel_explore(
     string or a :class:`FaultPlan`); ``workers == 0`` is plain in-process
     :func:`repro.lang.client.explore`.  The verification pipelines call
     this so ``--workers`` reaches ``lin`` / ``lockfree`` unchanged.
+
+    ``remote`` (a comma-separated spec string or a sequence of
+    addresses), ``remote_listen`` and ``transport`` configure the
+    remote worker pool; any of them implies a parallel run even with
+    ``workers == 0``, in which case the worker target defaults to the
+    number of remote addresses.
     """
-    if not workers or workers < 1:
+    if isinstance(remote, str):
+        remote_addrs: Tuple[str, ...] = tuple(
+            part.strip() for part in remote.split(",") if part.strip()
+        )
+    else:
+        remote_addrs = tuple(remote or ())
+    wants_remote = (
+        bool(remote_addrs)
+        or remote_listen is not None
+        or transport in ("remote", "mixed")
+    )
+    if (not workers or workers < 1) and not wants_remote:
         from ..lang.client import explore
 
         return explore(
@@ -748,9 +1063,17 @@ def maybe_parallel_explore(
         )
     if isinstance(fault_plan, str):
         fault_plan = FaultPlan.parse(fault_plan)
-    parallel = ParallelConfig(workers=workers, fault_plan=fault_plan)
+    parallel = ParallelConfig(
+        workers=max(workers or 0, 0),
+        fault_plan=fault_plan,
+        remote=remote_addrs,
+        remote_listen=remote_listen,
+        transport=transport or "auto",
+    )
     if shard_states is not None:
         parallel.shard_states = shard_states
+    if heartbeat_timeout is not None:
+        parallel.heartbeat_timeout = heartbeat_timeout
     return parallel_explore(
         program, config, parallel, stats=stats, budget=budget,
         checkpoint=checkpoint, resume=resume,

@@ -9,6 +9,12 @@ compute raw ``(key, edges)`` pairs, and the supervisor replays them in
 serial DFS order at merge time, which is what makes the merged system
 bit-identical to a serial run.
 
+The shard-expansion core itself (:func:`run_shard`) is
+transport-agnostic: it reports through a ``send(message)`` callable
+and delegates fault injection to an ``apply_fault`` callback, so the
+same loop drives a forked pipe worker here and a remote socket session
+in :mod:`repro.parallel.remote`.
+
 Failure discipline: anything that goes wrong inside a shard is reported
 as an ``error`` frame (with the traceback) so the supervisor can log it
 and requeue; a budget exhaustion is reported as an ``exhausted`` frame
@@ -18,6 +24,10 @@ of the deadline" from a genuine crash.  Injected faults from a
 :class:`repro.parallel.faults.FaultPlan` trigger between state
 expansions -- ``kill`` raises SIGKILL against the worker itself, which
 is exactly the signature of an OOM-killed or externally killed child.
+Network fault kinds delivered to a *pipe* worker map to their nearest
+process-level analogue (``drop-conn`` -> ``exit``, ``stall-socket`` ->
+``stall``, ``corrupt-frame`` -> ``corrupt``) so one plan drives both
+transports.
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ import os
 import signal
 import time
 import traceback
-from typing import Any, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple, Type
 
 from ..lang.client import ExpansionContext
 from ..util.budget import BudgetExhausted, ChildAllowance
@@ -55,18 +65,20 @@ HEARTBEAT_SECONDS = 0.25
 
 
 def _apply_fault(fault, out) -> bool:
-    """Act on an injected fault; returns ``True`` if the next result
-    frame should be corrupted (the ``corrupt`` kind)."""
+    """Act on an injected fault in a *pipe* worker; returns ``True`` if
+    the next result frame should be corrupted (the ``corrupt`` kinds).
+    """
     fault.fired = True
-    if fault.kind == "kill":
+    kind = fault.kind
+    if kind == "kill":
         out.flush()
         os.kill(os.getpid(), signal.SIGKILL)
-    elif fault.kind == "exit":
+    elif kind in ("exit", "drop-conn"):
         out.flush()
         os._exit(0)
-    elif fault.kind == "stall":
+    elif kind in ("stall", "stall-socket"):
         time.sleep(STALL_SECONDS)
-    elif fault.kind == "corrupt":
+    elif kind in ("corrupt", "corrupt-frame"):
         return True
     return False
 
@@ -90,6 +102,13 @@ def worker_main(
     plan = fault_plan if fault_plan else None
     states_expanded = 0
     corrupt_next = False
+
+    def send(message: Any, corrupt: bool = False) -> None:
+        write_frame(out, message, corrupt=corrupt)
+
+    def apply_fault(fault) -> bool:
+        return _apply_fault(fault, out)
+
     try:
         write_frame(out, (MSG_HELLO, worker_index, os.getpid()))
         while True:
@@ -99,9 +118,10 @@ def worker_main(
             if message[0] != MSG_SHARD:
                 raise RuntimeError(f"unexpected command {message[0]!r}")
             _, shard_id, keys, allowance = message
-            corrupt_next = _run_shard(
-                worker_index, context, shard_id, keys, allowance,
-                out, plan, corrupt_next, states_counter=states_expanded,
+            corrupt_next = run_shard(
+                send, apply_fault, worker_index, context, shard_id, keys,
+                allowance, plan, corrupt_next,
+                states_counter=states_expanded,
                 heartbeat_seconds=heartbeat_seconds,
             )
             states_expanded += len(keys)
@@ -121,21 +141,29 @@ def worker_main(
         os._exit(0)
 
 
-def _run_shard(
+def run_shard(
+    send: Callable[..., None],
+    apply_fault: Callable[[Any], bool],
     worker_index: int,
     context: ExpansionContext,
     shard_id: int,
     keys: List[Any],
     allowance: Optional[ChildAllowance],
-    out,
     plan: Optional[FaultPlan],
     corrupt_next: bool,
     states_counter: int,
     heartbeat_seconds: float = HEARTBEAT_SECONDS,
+    passthrough: Tuple[Type[BaseException], ...] = (BrokenPipeError,),
 ) -> bool:
     """Expand one shard and send the result (or exhaustion/error) frame.
 
-    Returns the updated corrupt-next-frame flag.
+    Transport-agnostic: frames go through ``send(message,
+    corrupt=...)`` and injected faults through ``apply_fault(fault) ->
+    corrupt_next``.  Exceptions whose type is in ``passthrough``
+    (transport failures, injected connection drops) propagate to the
+    caller instead of being reported as shard errors -- there is no
+    healthy channel left to report on.  Returns the updated
+    corrupt-next-frame flag.
     """
     budget = allowance.to_budget() if allowance is not None else None
     started = time.monotonic()
@@ -149,24 +177,22 @@ def _run_shard(
             if plan is not None:
                 fault = plan.next_for(worker_index, states_counter + done + 1)
                 if fault is not None:
-                    corrupt_next = _apply_fault(fault, out) or corrupt_next
+                    corrupt_next = apply_fault(fault) or corrupt_next
             now = time.monotonic()
             if now - last_beat >= heartbeat_seconds:
-                write_frame(out, (MSG_PROGRESS, worker_index, shard_id, done + 1))
+                send((MSG_PROGRESS, worker_index, shard_id, done + 1))
                 last_beat = now
     except BudgetExhausted as exc:
-        write_frame(out, (MSG_EXHAUSTED, worker_index, shard_id,
-                          exc.exhaustion.to_dict()))
+        send((MSG_EXHAUSTED, worker_index, shard_id,
+              exc.exhaustion.to_dict()))
         return corrupt_next
-    except BrokenPipeError:
+    except passthrough:
         raise
     except Exception:
-        write_frame(out, (MSG_ERROR, worker_index, shard_id,
-                          traceback.format_exc()))
+        send((MSG_ERROR, worker_index, shard_id, traceback.format_exc()))
         return corrupt_next
     busy_us = int((time.monotonic() - started) * 1_000_000)
-    write_frame(
-        out,
+    send(
         (MSG_RESULT, worker_index, shard_id, expansions, busy_us),
         corrupt=corrupt_next,
     )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import os
 import socket
+import time
 from typing import Any, List, Optional, Tuple, Union
 
 from ..parallel.protocol import FrameDecoder, ProtocolError, encode_frame
@@ -177,10 +178,16 @@ class SocketFrameChannel:
         self.close()
 
     # -- I/O -----------------------------------------------------------
-    def send(self, message: Any) -> None:
-        """Write one frame (blocking; service frames are small)."""
+    def send(self, message: Any, corrupt: bool = False) -> None:
+        """Write one frame (blocking; service frames are small).
+
+        ``corrupt=True`` flips payload bytes after the checksum is
+        computed (the ``corrupt-frame`` fault-injection hook); the
+        receiver's CRC check rejects the frame and treats the
+        connection as compromised.
+        """
         try:
-            self.sock.sendall(encode_frame(message))
+            self.sock.sendall(encode_frame(message, corrupt=corrupt))
         except socket.timeout as exc:
             raise ServiceTimeout("send timed out") from exc
         except OSError as exc:
@@ -189,17 +196,35 @@ class SocketFrameChannel:
     def recv(self, timeout: Optional[float] = None) -> Optional[Any]:
         """One decoded message; ``None`` on clean EOF.
 
-        ``timeout`` bounds the wait for the *next* frame (not the whole
-        connection).  Protocol faults poison the underlying decoder, so
-        after a :class:`ServiceError` the channel is dead by design.
+        ``timeout`` bounds the *whole* wait for the next frame: the
+        deadline is fixed up front and each underlying ``recv`` gets
+        only the remainder, so a trickling peer cannot stretch one
+        logical wait into many timeouts' worth of blocking.
+
+        A :class:`ServiceTimeout` is **recoverable**: bytes of a
+        partially received frame (a split header included) stay
+        buffered in the decoder, and the next ``recv`` resumes exactly
+        where the stream left off.  Timeouts never desynchronize
+        framing -- only genuine protocol faults (bad magic, length,
+        CRC) poison the decoder, after which the channel is dead by
+        design.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         while not self._inbox:
             if self._eof:
                 return None
-            self.sock.settimeout(timeout)
+            if deadline is None:
+                self.sock.settimeout(None)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceTimeout("receive timed out")
+                self.sock.settimeout(remaining)
             try:
                 data = self.sock.recv(1 << 16)
             except socket.timeout as exc:
+                # Partial-frame bytes remain buffered in the decoder;
+                # the caller may retry recv() and resume mid-frame.
                 raise ServiceTimeout("receive timed out") from exc
             except OSError as exc:
                 raise ServiceError(f"receive failed: {exc}") from exc

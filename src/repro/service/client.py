@@ -192,14 +192,21 @@ def submit_request(
     request: Dict[str, Any],
     connect_timeout: float = 5.0,
     connect_attempts: int = 3,
+    connect_policy=None,
     timeout: Optional[float] = 60.0,
     overall_deadline: Optional[float] = None,
     on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
     on_accepted: Optional[Callable[[str, Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
-    """One-shot convenience: connect, submit, wait, close."""
+    """One-shot convenience: connect, submit, wait, close.
+
+    ``connect_policy`` overrides the reconnect backoff schedule (a
+    :class:`~repro.util.retry.BackoffPolicy`; the CLI surfaces it as
+    ``repro submit --retry-backoff BASE[:CAP]``).
+    """
     with ServiceClient.connect(
-        spec, timeout=connect_timeout, attempts=connect_attempts
+        spec, timeout=connect_timeout, attempts=connect_attempts,
+        policy=connect_policy or RECONNECT_POLICY,
     ) as client:
         return client.submit_and_wait(
             request, timeout=timeout, overall_deadline=overall_deadline,

@@ -118,6 +118,10 @@ def check_linearizability(
     workers: int = 0,
     fault_plan: Optional[Any] = None,
     shard_states: Optional[int] = None,
+    remote: Optional[Any] = None,
+    remote_listen: Optional[str] = None,
+    transport: Optional[str] = None,
+    heartbeat_timeout: Optional[float] = None,
     spec_checkpoint: Optional[CheckpointSink] = None,
     spec_resume: Optional[Checkpoint] = None,
     engine: Optional[str] = None,
@@ -237,7 +241,10 @@ def check_linearizability(
             else:
                 impl = maybe_parallel_explore(
                     program, config, workers=workers, fault_plan=fault_plan,
-                    shard_states=shard_states, stats=stats, budget=budget,
+                    shard_states=shard_states,
+                    remote=remote, remote_listen=remote_listen,
+                    transport=transport,
+                    heartbeat_timeout=heartbeat_timeout, stats=stats, budget=budget,
                 )
             impl_states = impl.num_states
             spec_system = spec_lts(
@@ -327,6 +334,10 @@ def check_linearizability_both(
     workers: int = 0,
     fault_plan: Optional[Any] = None,
     shard_states: Optional[int] = None,
+    remote: Optional[Any] = None,
+    remote_listen: Optional[str] = None,
+    transport: Optional[str] = None,
+    heartbeat_timeout: Optional[float] = None,
     spec_checkpoint: Optional[CheckpointSink] = None,
     spec_resume: Optional[Checkpoint] = None,
     engine: Optional[str] = None,
@@ -360,7 +371,10 @@ def check_linearizability_both(
     try:
         impl = maybe_parallel_explore(
             program, config, workers=workers, fault_plan=fault_plan,
-            shard_states=shard_states, stats=stats_quotient, budget=budget,
+            shard_states=shard_states,
+            remote=remote, remote_listen=remote_listen,
+            transport=transport, heartbeat_timeout=heartbeat_timeout,
+            stats=stats_quotient, budget=budget,
         )
     except BudgetExhausted as exc:
         elapsed = time.perf_counter() - t0

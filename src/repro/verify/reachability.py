@@ -515,6 +515,10 @@ def check_linearizability_reachability(
     workers: int = 0,
     fault_plan: Optional[Any] = None,
     shard_states: Optional[int] = None,
+    remote: Optional[Any] = None,
+    remote_listen: Optional[str] = None,
+    transport: Optional[str] = None,
+    heartbeat_timeout: Optional[float] = None,
     on_the_fly: bool = False,
     impl_system: Optional[AnyLTS] = None,
 ) -> ReachabilityResult:
@@ -586,7 +590,10 @@ def check_linearizability_reachability(
             else:
                 impl = maybe_parallel_explore(
                     program, config, workers=workers, fault_plan=fault_plan,
-                    shard_states=shard_states, stats=stats, budget=budget,
+                    shard_states=shard_states,
+                    remote=remote, remote_listen=remote_listen,
+                    transport=transport,
+                    heartbeat_timeout=heartbeat_timeout, stats=stats, budget=budget,
                 )
             impl_states = impl.num_states
             t1 = time.perf_counter()

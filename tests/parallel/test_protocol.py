@@ -4,6 +4,8 @@ import io
 import struct
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.parallel.protocol import (
     MAGIC,
@@ -121,3 +123,43 @@ def test_decoder_accepts_frame_exactly_at_cap():
     payload_len = len(frame) - 12
     decoder = FrameDecoder(max_frame_bytes=payload_len)
     assert decoder.feed(frame) == [("stop",)]
+
+
+# ----------------------------------------------------------------------
+# property: chunking can never change what a stream decodes to
+# ----------------------------------------------------------------------
+
+@st.composite
+def _frames_and_cuts(draw):
+    """A short frame stream plus an adversarial chunking of its bytes."""
+    messages = draw(st.lists(
+        st.sampled_from(MESSAGES) | st.tuples(
+            st.just("result"),
+            st.integers(0, 7),
+            st.binary(max_size=64),
+        ),
+        min_size=1, max_size=5,
+    ))
+    data = b"".join(encode_frame(m) for m in messages)
+    cuts = draw(st.lists(
+        st.integers(0, len(data)), max_size=12,
+    ).map(sorted))
+    return messages, data, cuts
+
+
+@given(_frames_and_cuts())
+@settings(max_examples=200, deadline=None)
+def test_decoder_invariant_under_adversarial_chunking(case):
+    # The TCP layer may deliver any byte-split of the stream -- split
+    # headers, split payloads, empty reads, several frames at once.
+    # Whatever the chunking, the decoder must emit exactly the encoded
+    # message sequence and end with nothing buffered.
+    messages, data, cuts = case
+    decoder = FrameDecoder()
+    received = []
+    bounds = [0] + cuts + [len(data)]
+    for lo, hi in zip(bounds, bounds[1:]):
+        received.extend(decoder.feed(data[lo:hi]))
+    assert received == messages
+    assert decoder.pending_bytes == 0
+    assert not decoder.poisoned

@@ -1,0 +1,218 @@
+"""Remote worker pool: sharding over sockets with the network-fault model.
+
+Workers here run as *threads* inside the test process (``WorkerRuntime``
+is synchronous and socket-driven, so a daemon thread serves exactly like
+a separate host would).  That keeps the suite hermetic -- but it also
+means the process-level fault kinds (``kill``, ``exit``) must never be
+injected into these runtimes: they would take the test process down.
+Process-level faults are covered by ``scripts/remote_smoke.py``, which
+spawns real worker processes.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.aut import dumps_aut
+from repro.lang import ClientConfig, explore
+from repro.lang.checkpoint import CheckpointSink, load_checkpoint
+from repro.objects import get
+from repro.parallel import FaultPlan, ParallelConfig, parallel_explore
+from repro.parallel.remote import WorkerRuntime
+from repro.util.metrics import Stats
+
+
+def _bench_config(key="treiber", threads=2, ops=1):
+    # ops=1 keeps systems small: worker threads share the GIL with the
+    # supervisor here, so big state spaces explore far slower than the
+    # separate-process runs in scripts/remote_smoke.py.
+    bench = get(key)
+    program = bench.build(threads)
+    config = ClientConfig(
+        num_threads=threads,
+        ops_per_thread=ops,
+        workload=bench.default_workload(),
+    )
+    return program, config
+
+
+class _WorkerThread:
+    """A WorkerRuntime served from a daemon thread, with cleanup."""
+
+    def __init__(self, fault_plan=None, listen="127.0.0.1:0", connect=None):
+        self.runtime = WorkerRuntime(
+            listen=listen if connect is None else None,
+            connect=connect,
+            fault_plan=FaultPlan.parse(fault_plan),
+        )
+        self.address = (
+            self.runtime.bind() if connect is None else None
+        )
+        self.thread = threading.Thread(
+            target=self.runtime.serve_forever, daemon=True
+        )
+        self.thread.start()
+
+    def stop(self):
+        self.runtime.stop()
+        self.thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def worker():
+    worker = _WorkerThread()
+    yield worker
+    worker.stop()
+
+
+def _remote_parallel(*addresses, workers=0, **kwargs):
+    return ParallelConfig(
+        workers=workers, shard_states=16,
+        remote=tuple(addresses), **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# fault-free remote and mixed pools
+# ----------------------------------------------------------------------
+
+def test_remote_pool_matches_serial(worker):
+    program, config = _bench_config()
+    serial = dumps_aut(explore(program, config))
+    stats = Stats()
+    lts = parallel_explore(
+        program, config, _remote_parallel(worker.address), stats=stats,
+    )
+    assert dumps_aut(lts) == serial
+    assert stats.counters["explore.shard_acks"] > 0
+
+
+def test_mixed_pool_matches_serial(worker):
+    program, config = _bench_config("ms_queue")
+    serial = dumps_aut(explore(program, config))
+    lts = parallel_explore(
+        program, config,
+        _remote_parallel(worker.address, workers=2, transport="mixed"),
+    )
+    assert dumps_aut(lts) == serial
+
+
+def test_one_worker_serves_sequential_runs(worker):
+    # Sessions are serial per worker; a finished run must leave the
+    # worker accepting the next supervisor.
+    program, config = _bench_config()
+    serial = dumps_aut(explore(program, config))
+    for _ in range(2):
+        lts = parallel_explore(
+            program, config, _remote_parallel(worker.address),
+        )
+        assert dumps_aut(lts) == serial
+    # The session counter ticks when the worker side finishes its
+    # teardown, slightly after the supervisor returns: poll briefly.
+    deadline = time.monotonic() + 5.0
+    while worker.runtime.sessions_served < 2 \
+            and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert worker.runtime.sessions_served == 2
+
+
+# ----------------------------------------------------------------------
+# network faults: drop-conn / corrupt-frame recover byte-identically
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec,counter", [
+    ("drop-conn:*@20", "explore.remote_disconnects"),
+    ("corrupt-frame:*@10", "explore.corrupt_frames"),
+])
+def test_network_fault_recovery_is_byte_identical(spec, counter):
+    program, config = _bench_config()
+    serial = dumps_aut(explore(program, config))
+    worker = _WorkerThread(fault_plan=spec)  # local injection wins
+    try:
+        stats = Stats()
+        lts = parallel_explore(
+            program, config, _remote_parallel(worker.address), stats=stats,
+        )
+        assert dumps_aut(lts) == serial
+        assert stats.counters[counter] >= 1
+        assert stats.counters["explore.remote_redials"] >= 1
+    finally:
+        worker.stop()
+
+
+# ----------------------------------------------------------------------
+# degradation ladder and partition salvage
+# ----------------------------------------------------------------------
+
+def test_dead_remotes_degrade_to_local_forks():
+    program, config = _bench_config()
+    serial = dumps_aut(explore(program, config))
+    stats = Stats()
+    # Nothing listens on these; a tiny redial budget keeps it quick.
+    parallel = ParallelConfig(
+        workers=2, shard_states=16,
+        remote=("127.0.0.1:9", "127.0.0.1:10"),
+        remote_redial_budget=1, backoff_base=0.01, backoff_cap=0.05,
+    )
+    lts = parallel_explore(program, config, parallel, stats=stats)
+    assert dumps_aut(lts) == serial
+    assert stats.counters["explore.remote_slots_dead"] == 2
+    assert stats.counters["explore.remote_outages"] == 1
+    assert stats.counters["explore.degraded_to_local"] == 1
+
+
+def test_forced_partition_salvages_checkpoint_and_degrades(tmp_path, worker):
+    program, config = _bench_config()
+    serial = dumps_aut(explore(program, config))
+    path = tmp_path / "salvage.ckpt"
+    stats = Stats()
+    parallel = _remote_parallel(
+        worker.address, fault_plan=FaultPlan.parse("partition@2"),
+    )
+    lts = parallel_explore(
+        program, config, parallel, stats=stats,
+        checkpoint=CheckpointSink(str(path)),
+    )
+    # The run still completes (local-fork rung) and stays exact.
+    assert dumps_aut(lts) == serial
+    assert stats.counters["explore.partitions"] == 1
+    assert stats.counters["explore.remote_outages"] == 1
+    assert stats.counters["explore.degraded_to_local"] == 1
+    # The salvage checkpoint left at the partition is serial-loadable.
+    assert path.exists()
+    assert load_checkpoint(str(path)) is not None
+
+
+# ----------------------------------------------------------------------
+# agent mode: workers dial a listening supervisor
+# ----------------------------------------------------------------------
+
+def test_agent_dials_supervisor_unix_socket(tmp_path):
+    program, config = _bench_config(ops=1)
+    serial = dumps_aut(explore(program, config))
+    spec = str(tmp_path / "sup.sock")
+    parallel = ParallelConfig(
+        workers=0, shard_states=16,
+        remote_listen=spec, transport="remote",
+    )
+    # The agent redials with backoff until the supervisor binds.
+    agent = _WorkerThread(connect=spec)
+    try:
+        stats = Stats()
+        lts = parallel_explore(program, config, parallel, stats=stats)
+        assert dumps_aut(lts) == serial
+        assert stats.counters["explore.remote_agents_adopted"] == 1
+    finally:
+        agent.stop()
+
+
+# ----------------------------------------------------------------------
+# runtime argument validation
+# ----------------------------------------------------------------------
+
+def test_runtime_requires_exactly_one_mode():
+    with pytest.raises(ValueError):
+        WorkerRuntime()
+    with pytest.raises(ValueError):
+        WorkerRuntime(listen="127.0.0.1:0", connect="127.0.0.1:1")

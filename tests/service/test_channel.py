@@ -185,3 +185,62 @@ def test_send_on_closed_socket_raises(tmp_path):
     with pytest.raises((ServiceError, OSError)):
         client.send(("hello",))
     listener.close()
+
+
+# ----------------------------------------------------------------------
+# partial reads across recv timeouts
+# ----------------------------------------------------------------------
+
+class _TricklingSocket:
+    """Socket stub delivering one byte per ``recv``, timing out between.
+
+    Regression stand-in for a slow/stalling peer: every other ``recv``
+    raises ``socket.timeout``, and successful reads return a single
+    byte.  A frame header (12 bytes) therefore *always* arrives split
+    across many timed-out recv() calls.
+    """
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+        self._timeout_next = False
+
+    def settimeout(self, _value):
+        pass
+
+    def recv(self, _size):
+        self._timeout_next = not self._timeout_next
+        if not self._timeout_next:
+            raise socket.timeout("stub timeout")
+        if self._pos >= len(self._data):
+            return b""
+        byte = self._data[self._pos:self._pos + 1]
+        self._pos += 1
+        return byte
+
+    def close(self):
+        pass
+
+
+def test_recv_timeout_preserves_partial_header():
+    # The decoder must keep partial-frame bytes (split *header*
+    # included) across ServiceTimeout so a later recv() resumes
+    # mid-frame instead of desynchronizing the stream.
+    messages = [("progress", 1, 7, 42), ("result", 2, "payload" * 10)]
+    data = b"".join(encode_frame(m) for m in messages)
+    channel = SocketFrameChannel(_TricklingSocket(data))
+    received = []
+    while len(received) < len(messages):
+        try:
+            message = channel.recv(timeout=0.05)
+        except ServiceTimeout:
+            continue
+        assert message is not None
+        received.append(message)
+    assert received == messages
+    while True:  # clean EOF afterwards (stub may time out once more)
+        try:
+            assert channel.recv(timeout=0.05) is None
+            break
+        except ServiceTimeout:
+            continue
